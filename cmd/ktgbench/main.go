@@ -1,0 +1,88 @@
+// Command ktgbench regenerates the paper's evaluation tables and figures
+// (Section VII) on synthetic stand-ins for the published datasets. Each
+// experiment prints the rows the corresponding figure plots: mean latency
+// per algorithm per swept parameter value, or index space/build time.
+//
+// Usage:
+//
+//	ktgbench -exp fig3 -scale 0.02 -queries 20
+//	ktgbench -exp all
+//	ktgbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ktg/internal/expr"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale   = flag.Float64("scale", 0.01, "dataset scale factor in (0,1]")
+		queries = flag.Int("queries", 10, "random queries per measurement point (paper: 100)")
+		seed    = flag.Int64("seed", 7, "workload seed")
+		budget  = flag.Int64("maxnodes", 1_000_000, "per-query node budget (0 = unlimited)")
+		maxTime = flag.Duration("maxtime", 2*time.Second, "per-query wall-clock budget (0 = unlimited)")
+		capped  = flag.Bool("capped", false, "use the improved |W_Q|-capped prune bound instead of the paper's")
+		quiet   = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+		csvPath = flag.String("csv", "", "also append measurement rows to this CSV file")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expr.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	env := expr.NewEnv(*scale, *queries, *seed)
+	env.MaxNodes = *budget
+	env.MaxTime = *maxTime
+	env.PaperBound = !*capped
+	if !*quiet {
+		env.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	run := func(e expr.Experiment) {
+		fmt.Printf("# running %s (%s) — scale %.4g, %d queries/point\n",
+			e.ID, e.Title, *scale, *queries)
+		start := time.Now()
+		rep, err := e.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ktgbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		fmt.Printf("# %s finished in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvPath != "" && len(rep.Rows) > 0 {
+			f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ktgbench: opening CSV: %v\n", err)
+				os.Exit(1)
+			}
+			if err := expr.WriteCSV(f, rep.Rows); err != nil {
+				fmt.Fprintf(os.Stderr, "ktgbench: writing CSV: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range expr.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := expr.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ktgbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

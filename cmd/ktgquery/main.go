@@ -1,0 +1,176 @@
+// Command ktgquery answers a single KTG or DKTG query on a dataset, from
+// files (ktggen output) or a generated preset.
+//
+// Examples:
+//
+//	ktgquery -preset brightkite -scale 0.05 -keywords auto -p 3 -k 2 -n 3
+//	ktgquery -edges g.edges -attrs g.attrs -keywords kw01,kw07 -p 4 -k 1 -n 5 -alg vkc -index nl
+//	ktgquery -preset dblp -scale 0.02 -keywords auto -diverse
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ktg"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", "generate this preset instead of loading files")
+		scale     = flag.Float64("scale", 0.05, "preset scale factor")
+		edges     = flag.String("edges", "", "edge-list file (with -attrs)")
+		attrs     = flag.String("attrs", "", "keyword attribute file")
+		kwList    = flag.String("keywords", "auto", "comma-separated query keywords, or \"auto\" for the 6 most popular")
+		p         = flag.Int("p", 3, "group size")
+		k         = flag.Int("k", 2, "tenuity constraint (pairwise distance must exceed k)")
+		n         = flag.Int("n", 3, "number of groups")
+		alg       = flag.String("alg", "vkc-deg", "algorithm: vkc-deg, vkc, qkc, brute")
+		indexKind = flag.String("index", "nlrnl", "distance index: bfs, nl, nlrnl")
+		diverse   = flag.Bool("diverse", false, "run the diversified DKTG-Greedy query")
+		greedy    = flag.Bool("greedy", false, "run the approximate greedy search instead of an exact algorithm")
+		gamma     = flag.Float64("gamma", 0.5, "DKTG coverage/diversity weight")
+		maxNodes  = flag.Int64("maxnodes", 50_000_000, "search node budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	net, err := loadNetwork(*preset, *scale, *edges, *attrs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\n", net)
+
+	var kws []string
+	if *kwList == "auto" {
+		kws = net.PopularKeywords(6)
+	} else {
+		for _, kw := range strings.Split(*kwList, ",") {
+			if kw = strings.TrimSpace(kw); kw != "" {
+				kws = append(kws, kw)
+			}
+		}
+	}
+	q := ktg.Query{Keywords: kws, GroupSize: *p, Tenuity: *k, TopN: *n}
+	fmt.Printf("query: W_Q=%v p=%d k=%d N=%d\n", kws, *p, *k, *n)
+
+	opts := ktg.SearchOptions{MaxNodes: *maxNodes}
+	switch *alg {
+	case "vkc-deg":
+		opts.Algorithm = ktg.AlgVKCDeg
+	case "vkc":
+		opts.Algorithm = ktg.AlgVKC
+	case "qkc":
+		opts.Algorithm = ktg.AlgQKC
+	case "brute":
+		opts.Algorithm = ktg.AlgBruteForce
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+	start := time.Now()
+	switch *indexKind {
+	case "bfs":
+		opts.Index = net.NewBFSIndex()
+	case "nl":
+		idx, err := net.BuildNL(0)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Index = idx
+	case "nlrnl":
+		idx, err := net.BuildNLRNL()
+		if err != nil {
+			fatal(err)
+		}
+		opts.Index = idx
+	default:
+		fatal(fmt.Errorf("unknown index %q", *indexKind))
+	}
+	fmt.Printf("index %s ready in %v\n", opts.Index.Name(), time.Since(start).Round(time.Millisecond))
+
+	if *greedy {
+		start = time.Now()
+		res, err := net.SearchGreedy(q, opts.Index, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Greedy answered in %v (approximate; %d seeds tried)\n",
+			time.Since(start).Round(time.Microsecond), res.Stats.Nodes)
+		printGroups(net, res.Groups)
+		return
+	}
+
+	if *diverse {
+		start = time.Now()
+		dr, err := net.SearchDiverse(q, ktg.DiverseOptions{SearchOptions: opts, Gamma: *gamma})
+		reportErr(err)
+		fmt.Printf("DKTG-Greedy answered in %v (score %.3f, diversity %.3f, min coverage %.3f)\n",
+			time.Since(start).Round(time.Microsecond), dr.Score, dr.Diversity, dr.MinQKC)
+		printGroups(net, dr.Groups)
+		return
+	}
+
+	start = time.Now()
+	res, err := net.Search(q, opts)
+	reportErr(err)
+	fmt.Printf("%s answered in %v (%d nodes explored, %d pruned, %d distance checks)\n",
+		opts.Algorithm, time.Since(start).Round(time.Microsecond),
+		res.Stats.Nodes, res.Stats.Pruned, res.Stats.DistanceChecks)
+	printGroups(net, res.Groups)
+}
+
+func loadNetwork(preset string, scale float64, edges, attrs string) (*ktg.Network, error) {
+	if preset != "" {
+		return ktg.GeneratePreset(preset, scale)
+	}
+	if edges == "" {
+		return nil, errors.New("need -preset or -edges/-attrs")
+	}
+	ef, err := os.Open(edges)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	var af *os.File
+	if attrs != "" {
+		af, err = os.Open(attrs)
+		if err != nil {
+			return nil, err
+		}
+		defer af.Close()
+		return ktg.LoadNetwork(ef, af)
+	}
+	return ktg.LoadNetwork(ef, nil)
+}
+
+func printGroups(net *ktg.Network, groups []ktg.Group) {
+	if len(groups) == 0 {
+		fmt.Println("no feasible group satisfies the constraints")
+		return
+	}
+	for i, g := range groups {
+		fmt.Printf("group %d: coverage %.2f, covered %v\n", i+1, g.QKC, g.Covered)
+		for _, v := range g.Members {
+			fmt.Printf("  u%-8d keywords %v\n", v, net.Keywords(v))
+		}
+	}
+}
+
+func reportErr(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, ktg.ErrBudgetExhausted) {
+		fmt.Println("note: node budget exhausted; result may be partial")
+		return
+	}
+	fatal(err)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ktgquery:", err)
+	os.Exit(1)
+}

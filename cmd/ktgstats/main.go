@@ -1,0 +1,138 @@
+// Command ktgstats reports structural statistics of a dataset — degree
+// distribution, clustering, components, hop-distance profile, keyword
+// popularity — the properties that determine KTG query cost and that the
+// synthetic presets are tuned to reproduce (see DESIGN.md §4).
+//
+// Examples:
+//
+//	ktgstats -preset gowalla -scale 0.05
+//	ktgstats -edges g.edges -attrs g.attrs
+//	ktgstats -preset dblp -scale 0.01 -model er    # topology ablation
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"ktg/internal/gen"
+	"ktg/internal/graph"
+	"ktg/internal/keywords"
+)
+
+func main() {
+	var (
+		preset  = flag.String("preset", "", "generate this preset instead of loading files")
+		scale   = flag.Float64("scale", 0.05, "preset scale factor")
+		model   = flag.String("model", "social", "topology model: social, erdos-renyi (er), small-world (ws)")
+		edges   = flag.String("edges", "", "edge-list file")
+		attrs   = flag.String("attrs", "", "keyword attribute file")
+		samples = flag.Int("samples", 32, "BFS samples for distance statistics (0 = skip)")
+		topK    = flag.Int("top", 10, "how many keyword popularity buckets to print")
+	)
+	flag.Parse()
+
+	g, a, name, err := load(*preset, *scale, *model, *edges, *attrs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ktgstats:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dataset: %s\n\n", name)
+	fmt.Print(graph.Measure(g, *samples))
+
+	hist := graph.DegreeHistogram(g)
+	fmt.Printf("\ndegree histogram (log-ish buckets):\n")
+	for lo := 0; lo < len(hist); lo = next(lo) {
+		hi := next(lo)
+		count := 0
+		for d := lo; d < hi && d < len(hist); d++ {
+			count += hist[d]
+		}
+		if count > 0 {
+			fmt.Printf("  [%4d, %4d): %d\n", lo, hi, count)
+		}
+	}
+
+	if a != nil && a.Vocabulary().Size() > 0 {
+		fmt.Printf("\nkeywords: %d distinct, %.2f per vertex\n",
+			a.Vocabulary().Size(), a.AverageKeywordsPerVertex())
+		counts := make([]int, a.Vocabulary().Size())
+		for v := 0; v < a.NumVertices(); v++ {
+			for _, id := range a.Keywords(graph.Vertex(v)) {
+				counts[id]++
+			}
+		}
+		type kc struct {
+			id keywords.ID
+			c  int
+		}
+		top := make([]kc, 0, len(counts))
+		for id, c := range counts {
+			top = append(top, kc{keywords.ID(id), c})
+		}
+		for i := 0; i < *topK && i < len(top); i++ {
+			// selection of the i-th most popular
+			maxJ := i
+			for j := i + 1; j < len(top); j++ {
+				if top[j].c > top[maxJ].c {
+					maxJ = j
+				}
+			}
+			top[i], top[maxJ] = top[maxJ], top[i]
+			fmt.Printf("  #%-3d %-12s carried by %d vertices\n",
+				i+1, a.Vocabulary().Name(top[i].id), top[i].c)
+		}
+	}
+}
+
+func next(lo int) int {
+	if lo == 0 {
+		return 1
+	}
+	return lo * 2
+}
+
+func load(preset string, scale float64, model, edges, attrs string) (graph.Topology, *keywords.Attributes, string, error) {
+	if preset != "" {
+		c, err := gen.Preset(preset, scale)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		m, err := gen.ModelByName(model)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		d, err := gen.GenerateWithModel(c, m)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return d.Graph, d.Attrs, fmt.Sprintf("%s (%s)", d.Name, m), nil
+	}
+	if edges == "" {
+		return nil, nil, "", errors.New("need -preset or -edges")
+	}
+	ef, err := os.Open(edges)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	defer ef.Close()
+	g, err := graph.ReadEdgeList(ef, 0)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var a *keywords.Attributes
+	if attrs != "" {
+		af, err := os.Open(attrs)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		defer af.Close()
+		a, err = keywords.ReadAttributes(af, g.NumVertices(), nil)
+		if err != nil {
+			return nil, nil, "", err
+		}
+	}
+	return g, a, edges, nil
+}

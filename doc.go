@@ -1,0 +1,29 @@
+// Package ktg implements keyword-based socially tenuous group (KTG)
+// queries over attributed social networks, reproducing the system of
+// "Keyword-based Socially Tenuous Group Queries" (Zhu et al., ICDE 2023).
+//
+// A KTG query ⟨W_Q, p, k, N⟩ finds the top-N groups of exactly p members
+// such that every pair of members has social (hop) distance greater than
+// k, every member covers at least one query keyword, and the members
+// jointly cover as many query keywords as possible. The diversified
+// variant (DKTG) additionally returns pairwise-diverse groups.
+//
+// # Quick start
+//
+//	net, err := ktg.GeneratePreset("gowalla", 0.05)   // or build/load your own
+//	if err != nil { ... }
+//	idx, err := net.BuildNLRNL()                      // fast distance index
+//	if err != nil { ... }
+//	res, err := net.Search(ktg.Query{
+//		Keywords:  []string{"kw0001", "kw0007", "kw0042"},
+//		GroupSize: 3,
+//		Tenuity:   2,
+//		TopN:      5,
+//	}, ktg.SearchOptions{Index: idx})
+//
+// The package exposes the paper's full algorithm family: the exact
+// branch-and-bound searches KTG-QKC, KTG-VKC and KTG-VKC-DEG (selected
+// with SearchOptions.Algorithm), the DKTG-Greedy diversified search
+// (Network.SearchDiverse), the brute-force reference, and the NL / NLRNL
+// social-distance indexes with persistence and dynamic edge updates.
+package ktg

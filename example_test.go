@@ -1,0 +1,73 @@
+package ktg_test
+
+import (
+	"fmt"
+	"log"
+
+	"ktg"
+)
+
+// ExampleNetwork_Search finds one tenuous pair on a small path network.
+func ExampleNetwork_Search() {
+	b := ktg.NewBuilder(0)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).AddEdge(3, 4)
+	b.SetKeywords(0, "databases", "graphs")
+	b.SetKeywords(2, "machine learning")
+	b.SetKeywords(4, "graphs", "systems")
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := net.Search(ktg.Query{
+		Keywords:  []string{"databases", "graphs", "systems"},
+		GroupSize: 2,
+		Tenuity:   1,
+		TopN:      1,
+	}, ktg.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := res.Groups[0]
+	fmt.Println(g.Members, g.Covered)
+	// Output: [0 4] [databases graphs systems]
+}
+
+// ExampleNetwork_SearchDiverse shows disjoint diversified groups.
+func ExampleNetwork_SearchDiverse() {
+	b := ktg.NewBuilder(6)
+	// Two separate components, each holding a feasible pair.
+	b.AddEdge(0, 1).AddEdge(3, 4)
+	b.SetKeywords(0, "a")
+	b.SetKeywords(2, "b")
+	b.SetKeywords(3, "a")
+	b.SetKeywords(5, "b")
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dr, err := net.SearchDiverse(ktg.Query{
+		Keywords:  []string{"a", "b"},
+		GroupSize: 2,
+		Tenuity:   1,
+		TopN:      2,
+	}, ktg.DiverseOptions{Gamma: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(dr.Groups), dr.Diversity)
+	// Output: 2 1
+}
+
+// ExampleNetwork_AuditTenuity audits an arbitrary member set.
+func ExampleNetwork_AuditTenuity() {
+	b := ktg.NewBuilder(4)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3)
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	audit := net.AuditTenuity([]ktg.Vertex{0, 2, 3}, 1, 4, nil)
+	fmt.Println(audit.KLines, audit.MinDistance)
+	// Output: 1 1
+}

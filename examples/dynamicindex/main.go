@@ -1,0 +1,81 @@
+// Dynamicindex: maintain the NLRNL distance index as the social network
+// evolves (Section V-B of the paper). New friendships and removed ties
+// are pushed into the index incrementally — no full rebuild — and query
+// answers track the updated topology.
+//
+// Run with:
+//
+//	go run ./examples/dynamicindex
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ktg"
+)
+
+func main() {
+	net, err := ktg.GeneratePreset("brightkite", 0.03)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net)
+
+	start := time.Now()
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullBuild := time.Since(start)
+	fmt.Printf("full NLRNL build: %v\n\n", fullBuild.Round(time.Millisecond))
+
+	// Pick two users currently far apart.
+	var u, v ktg.Vertex
+	found := false
+	for a := ktg.Vertex(0); a < 200 && !found; a++ {
+		for b := a + 1; b < 200; b++ {
+			if d := idx.Distance(a, b); d >= 4 {
+				u, v, found = a, b, true
+				break
+			}
+		}
+	}
+	if !found {
+		log.Fatal("no distant pair found in the sample")
+	}
+	fmt.Printf("u%d and u%d are %d hops apart\n", u, v, idx.Distance(u, v))
+
+	// They become friends: one incremental index update.
+	start = time.Now()
+	idx.InsertEdge(u, v)
+	fmt.Printf("InsertEdge(u%d, u%d) repaired the index in %v (full rebuild was %v)\n",
+		u, v, time.Since(start).Round(time.Microsecond), fullBuild.Round(time.Millisecond))
+	fmt.Printf("distance after friendship: %d\n", idx.Distance(u, v))
+
+	// A group containing both is no longer tenuous for k >= 1.
+	if idx.Within(u, v, 1) {
+		fmt.Printf("u%d and u%d can no longer serve on the same 1-distance group\n", u, v)
+	}
+
+	// The friendship ends: another incremental repair.
+	start = time.Now()
+	idx.RemoveEdge(u, v)
+	fmt.Printf("RemoveEdge repaired the index in %v; distance is back to %d\n",
+		time.Since(start).Round(time.Microsecond), idx.Distance(u, v))
+
+	// Queries keep working against the updated index (the Network value
+	// itself is immutable; the index answers for its updated copy).
+	res, err := net.Search(ktg.Query{
+		Keywords:  net.PopularKeywords(5),
+		GroupSize: 3,
+		Tenuity:   2,
+		TopN:      2,
+	}, ktg.SearchOptions{Index: idx})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query over the maintained index: %d groups, best coverage %.2f\n",
+		len(res.Groups), res.Groups[0].QKC)
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a small attributed social network, run a KTG query,
+// and print the tenuous groups it finds.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ktg"
+)
+
+func main() {
+	// The reviewer-selection network from the paper's running example:
+	// 12 researchers, their co-author/collaboration ties, and their
+	// expertise keywords.
+	b := ktg.NewBuilder(12)
+	for _, e := range [][2]ktg.Vertex{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 9}, {0, 11},
+		{2, 3}, {3, 4}, {3, 9},
+		{4, 6}, {4, 8}, {5, 6}, {6, 7}, {6, 9}, {7, 8},
+		{9, 10}, {10, 11},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	b.SetKeywords(0, "social network", "graph data", "data quality")
+	b.SetKeywords(1, "social network", "data quality")
+	b.SetKeywords(2, "graph data")
+	b.SetKeywords(3, "social network")
+	b.SetKeywords(4, "graph query")
+	b.SetKeywords(5, "graph data")
+	b.SetKeywords(6, "social network", "graph query")
+	b.SetKeywords(7, "data quality")
+	b.SetKeywords(8, "operating systems") // off-topic reviewer
+	b.SetKeywords(10, "query processing", "social network")
+	b.SetKeywords(11, "data quality", "graph data")
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net)
+
+	// Find 2 panels of 3 reviewers: no two panelists may be direct
+	// collaborators (tenuity k=1), every panelist must know at least one
+	// paper topic, and jointly they should cover as many topics as
+	// possible.
+	query := ktg.Query{
+		Keywords: []string{
+			"social network", "query processing", "data quality",
+			"graph query", "graph data",
+		},
+		GroupSize: 3,
+		Tenuity:   1,
+		TopN:      2,
+	}
+	res, err := net.Search(query, ktg.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, g := range res.Groups {
+		fmt.Printf("panel %d — covers %.0f%% of the topics (%v)\n",
+			i+1, g.QKC*100, g.Covered)
+		for _, v := range g.Members {
+			fmt.Printf("  reviewer u%d: %v\n", v, net.Keywords(v))
+		}
+	}
+	fmt.Printf("explored %d candidate combinations, pruned %d subtrees\n",
+		res.Stats.Nodes, res.Stats.Pruned)
+}

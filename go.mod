@@ -1,0 +1,3 @@
+module ktg
+
+go 1.22

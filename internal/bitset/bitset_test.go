@@ -1,0 +1,289 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(10)
+	if s.Width() != 10 {
+		t.Fatalf("Width = %d, want 10", s.Width())
+	}
+	if s.Any() {
+		t.Error("new set should be empty")
+	}
+	if !s.None() {
+		t.Error("None should be true on new set")
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count = %d, want 0", s.Count())
+	}
+}
+
+func TestNewZeroWidth(t *testing.T) {
+	s := New(0)
+	if s.Count() != 0 || s.Any() {
+		t.Error("zero-width set must be empty")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Errorf("bit %d set before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Errorf("bit %d not set after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("bit 64 still set after Remove")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(8)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(Set){
+		func(s Set) { s.Add(8) },
+		func(s Set) { s.Add(-1) },
+		func(s Set) { s.Remove(100) },
+		func(s Set) { s.Contains(8) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn(New(8))
+		}()
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	a, b := New(8), New(9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionWith on mismatched widths did not panic")
+		}
+	}()
+	a.UnionWith(b)
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(10, 1, 4, 9)
+	want := []int{1, 4, 9}
+	if got := s.Indices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(70, 0, 5, 64, 69)
+	b := FromIndices(70, 5, 6, 64)
+
+	if got := a.Union(b).Indices(); !reflect.DeepEqual(got, []int{0, 5, 6, 64, 69}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Indices(); !reflect.DeepEqual(got, []int{5, 64}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Difference(b).Indices(); !reflect.DeepEqual(got, []int{0, 69}) {
+		t.Errorf("Difference = %v", got)
+	}
+	if got := a.CountUnion(b); got != 5 {
+		t.Errorf("CountUnion = %d, want 5", got)
+	}
+	if got := a.CountIntersect(b); got != 2 {
+		t.Errorf("CountIntersect = %d, want 2", got)
+	}
+	if got := a.CountDifference(b); got != 2 {
+		t.Errorf("CountDifference = %d, want 2", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	if a.Intersects(FromIndices(70, 1, 2)) {
+		t.Error("Intersects with disjoint set = true")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromIndices(16, 1, 3)
+	b := FromIndices(16, 1, 3, 5)
+	if !a.SubsetOf(b) {
+		t.Error("a ⊆ b should hold")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a should not hold")
+	}
+	if !New(16).SubsetOf(a) {
+		t.Error("∅ ⊆ a should hold")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(8, 2)
+	c := a.Clone()
+	c.Add(3)
+	if a.Contains(3) {
+		t.Error("mutation of clone leaked into original")
+	}
+}
+
+func TestCopyFromAndClear(t *testing.T) {
+	a := FromIndices(8, 1, 2)
+	b := New(8)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Error("CopyFrom did not copy")
+	}
+	b.Clear()
+	if b.Any() {
+		t.Error("Clear left bits set")
+	}
+	if !a.Contains(1) {
+		t.Error("Clear of copy affected source")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !FromIndices(8, 1).Equal(FromIndices(8, 1)) {
+		t.Error("equal sets reported unequal")
+	}
+	if FromIndices(8, 1).Equal(FromIndices(8, 2)) {
+		t.Error("different sets reported equal")
+	}
+	if FromIndices(8, 1).Equal(FromIndices(9, 1)) {
+		t.Error("different widths reported equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(8, 0, 3).String(); got != "{0 3}" {
+		t.Errorf("String = %q, want {0 3}", got)
+	}
+	if got := New(8).String(); got != "{}" {
+		t.Errorf("String = %q, want {}", got)
+	}
+}
+
+// model is a reference implementation backed by a map, used to verify Set
+// behaviour under property testing.
+type model map[int]bool
+
+func randomPair(r *rand.Rand, width int) (Set, model) {
+	s := New(width)
+	m := model{}
+	for i := 0; i < width; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+			m[i] = true
+		}
+	}
+	return s, m
+}
+
+func TestQuickAlgebraMatchesModel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64, w uint8) bool {
+		width := int(w%130) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, ma := randomPair(r, width)
+		b, mb := randomPair(r, width)
+
+		union, inter, diff := 0, 0, 0
+		for i := 0; i < width; i++ {
+			if ma[i] || mb[i] {
+				union++
+			}
+			if ma[i] && mb[i] {
+				inter++
+			}
+			if ma[i] && !mb[i] {
+				diff++
+			}
+		}
+		if a.CountUnion(b) != union || a.CountIntersect(b) != inter || a.CountDifference(b) != diff {
+			return false
+		}
+		u := a.Union(b)
+		for i := 0; i < width; i++ {
+			if u.Contains(i) != (ma[i] || mb[i]) {
+				return false
+			}
+		}
+		return u.Count() == union
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |a \ b| + |a ∩ b| == |a| for all a, b of equal width.
+	f := func(seed int64, w uint8) bool {
+		width := int(w%200) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randomPair(r, width)
+		b, _ := randomPair(r, width)
+		return a.CountDifference(b)+a.CountIntersect(b) == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIndicesRoundTrip(t *testing.T) {
+	f := func(seed int64, w uint8) bool {
+		width := int(w%200) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randomPair(r, width)
+		back := FromIndices(width, a.Indices()...)
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCountDifference(b *testing.B) {
+	x := FromIndices(64, 0, 7, 13, 22, 40, 63)
+	y := FromIndices(64, 7, 22, 41)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if x.CountDifference(y) != 4 {
+			b.Fatal("wrong count")
+		}
+	}
+}

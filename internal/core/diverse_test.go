@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ktg/internal/graph"
+	"ktg/internal/keywords"
+)
+
+func TestJaccardDistance(t *testing.T) {
+	cases := []struct {
+		a, b []graph.Vertex
+		want float64
+	}{
+		{[]graph.Vertex{1, 2, 3}, []graph.Vertex{1, 2, 3}, 0},
+		{[]graph.Vertex{1, 2, 3}, []graph.Vertex{4, 5, 6}, 1},
+		{[]graph.Vertex{1, 2, 3}, []graph.Vertex{1, 2, 4}, 0.5}, // union 4, inter 2
+		{nil, nil, 0},
+		{[]graph.Vertex{1}, nil, 1},
+	}
+	for _, c := range cases {
+		if got := JaccardDistance(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JaccardDistance(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := JaccardDistance(c.b, c.a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JaccardDistance not symmetric on (%v,%v)", c.a, c.b)
+		}
+	}
+}
+
+func TestDiversityScore(t *testing.T) {
+	g1 := Group{Members: []graph.Vertex{1, 2, 3}}
+	g2 := Group{Members: []graph.Vertex{4, 5, 6}}
+	g3 := Group{Members: []graph.Vertex{1, 2, 4}}
+	if got := DiversityScore(nil); got != 1 {
+		t.Errorf("DiversityScore(nil) = %v, want 1", got)
+	}
+	if got := DiversityScore([]Group{g1}); got != 1 {
+		t.Errorf("single group diversity = %v, want 1", got)
+	}
+	if got := DiversityScore([]Group{g1, g2}); got != 1 {
+		t.Errorf("disjoint diversity = %v, want 1", got)
+	}
+	// Pairs: d(g1,g2)=1, d(g1,g3)=0.5, d(g2,g3)=0.8 (union 5, inter 1).
+	want := (1 + 0.5 + 0.8) / 3
+	if got := DiversityScore([]Group{g1, g2, g3}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DiversityScore = %v, want %v", got, want)
+	}
+}
+
+func TestTotalScore(t *testing.T) {
+	groups := []Group{
+		{Members: []graph.Vertex{1, 2}, Coverage: 4},
+		{Members: []graph.Vertex{3, 4}, Coverage: 2},
+	}
+	// width 5: minQKC = 0.4, diversity = 1.
+	got := TotalScore(groups, 5, 0.5)
+	if math.Abs(got-(0.5*0.4+0.5*1)) > 1e-12 {
+		t.Errorf("TotalScore = %v", got)
+	}
+	if TotalScore(nil, 5, 0.5) != 0 {
+		t.Error("TotalScore of empty set should be 0")
+	}
+}
+
+func TestSearchDiverseFixture(t *testing.T) {
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	q := Query{Keywords: fixtureQuery(t, attrs), P: 3, K: 1, N: 2}
+	dr, err := SearchDiverse(g, attrs, q, DiverseOptions{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Groups) == 0 {
+		t.Fatal("no diverse groups found")
+	}
+	if dr.Groups[0].Coverage != 5 {
+		t.Errorf("first group coverage = %d, want the optimum 5", dr.Groups[0].Coverage)
+	}
+	seen := map[graph.Vertex]bool{}
+	for _, grp := range dr.Groups {
+		for _, v := range grp.Members {
+			if seen[v] {
+				t.Fatalf("groups overlap on member %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(dr.Groups) > 1 {
+		if dr.Diversity != 1 {
+			t.Errorf("Diversity = %v, want 1 for disjoint groups", dr.Diversity)
+		}
+	}
+	wantScore := 0.5*dr.MinQKC + 0.5*dr.Diversity
+	if math.Abs(dr.Score-wantScore) > 1e-12 {
+		t.Errorf("Score = %v, want %v", dr.Score, wantScore)
+	}
+}
+
+func TestSearchDiverseFallbackCoverage(t *testing.T) {
+	// A pool with exactly one full-coverage group forces the greedy to
+	// fall back to lower-coverage disjoint groups (strategy 2).
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	q := Query{Keywords: fixtureQuery(t, attrs), P: 3, K: 1, N: 3}
+	dr, err := SearchDiverse(g, attrs, q, DiverseOptions{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Groups) < 2 {
+		t.Skipf("fixture pool supports only %d disjoint groups", len(dr.Groups))
+	}
+	for i := 1; i < len(dr.Groups); i++ {
+		if dr.Groups[i].Coverage > dr.Groups[0].Coverage {
+			t.Errorf("later group coverage %d exceeds the first (%d)",
+				dr.Groups[i].Coverage, dr.Groups[0].Coverage)
+		}
+	}
+}
+
+func TestSearchDiverseValidation(t *testing.T) {
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	q := Query{Keywords: fixtureQuery(t, attrs), P: 3, K: 1, N: 2}
+	if _, err := SearchDiverse(g, attrs, q, DiverseOptions{Gamma: 1.5}); err == nil {
+		t.Error("gamma > 1 accepted")
+	}
+	if _, err := SearchDiverse(g, attrs, q, DiverseOptions{Gamma: -0.1}); err == nil {
+		t.Error("gamma < 0 accepted")
+	}
+	bad := q
+	bad.P = 0
+	if _, err := SearchDiverse(g, attrs, bad, DiverseOptions{Gamma: 0.5}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestSearchDiverseExhaustsPool(t *testing.T) {
+	// Asking for more groups than the pool supports returns what exists.
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	q := Query{Keywords: fixtureQuery(t, attrs), P: 3, K: 1, N: 50}
+	dr, err := SearchDiverse(g, attrs, q, DiverseOptions{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Groups) >= 50 {
+		t.Fatalf("12-vertex fixture cannot hold %d disjoint groups", len(dr.Groups))
+	}
+	if len(dr.Groups) == 0 {
+		t.Fatal("expected at least one group")
+	}
+}
+
+func TestTAGQBaseline(t *testing.T) {
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	q := Query{Keywords: fixtureQuery(t, attrs), P: 3, K: 1, N: 3}
+	r, err := TAGQ(g, attrs, q, TAGQOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Groups) == 0 {
+		t.Fatal("TAGQ found no groups")
+	}
+	for _, grp := range r.Groups {
+		if len(grp.Members) != q.P {
+			t.Fatalf("TAGQ group size %d, want %d", len(grp.Members), q.P)
+		}
+	}
+}
+
+func TestTAGQAdmitsZeroCoverageMembers(t *testing.T) {
+	// The case-study property (Figure 8): a pool where high-coverage
+	// vertices are scarce forces TAGQ to pad groups with zero-coverage
+	// members — which KTG by definition never does.
+	g := graph.FromEdges(6, [][2]graph.Vertex{{0, 1}, {2, 3}, {4, 5}})
+	attrs := keywords.NewAttributes(6, nil)
+	attrs.Assign(0, "a")
+	attrs.Assign(1, "b")
+	attrs.Assign(2, "a")
+	attrs.Assign(3, "b")
+	attrs.Assign(4, "b")
+	attrs.Assign(5, "b")
+	id, _ := attrs.Vocabulary().Lookup("a")
+	q := Query{Keywords: []keywords.ID{id}, P: 3, K: 1, N: 1}
+	r, err := TAGQ(g, attrs, q, TAGQOptions{TenuityBudget: 0.34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Groups) == 0 {
+		t.Fatal("TAGQ found no group")
+	}
+	zero := 0
+	for _, v := range r.Groups[0].Members {
+		covers := false
+		for _, kid := range attrs.Keywords(v) {
+			if kid == id {
+				covers = true
+			}
+		}
+		if !covers {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Error("expected TAGQ to admit at least one zero-coverage member")
+	}
+	// KTG on the same instance refuses: only two vertices carry "a".
+	ktg, err := Search(g, attrs, q, Options{Ordering: OrderVKCDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ktg.Groups) != 0 {
+		t.Error("KTG should find no size-3 group with only 2 qualified vertices")
+	}
+}
+
+func TestTAGQValidation(t *testing.T) {
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	q := Query{Keywords: fixtureQuery(t, attrs), P: 3, K: 1, N: 1}
+	if _, err := TAGQ(g, attrs, q, TAGQOptions{TenuityBudget: 2}); err == nil {
+		t.Error("tenuity budget > 1 accepted")
+	}
+	bad := q
+	bad.N = 0
+	if _, err := TAGQ(g, attrs, bad, TAGQOptions{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}

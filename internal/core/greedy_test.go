@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyFixture(t *testing.T) {
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	q := Query{Keywords: fixtureQuery(t, attrs), P: 3, K: 1, N: 2}
+	r, err := Greedy(g, attrs, q, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireValidResult(t, g, attrs, q, r)
+	if len(r.Groups) == 0 {
+		t.Fatal("greedy found nothing on the fixture")
+	}
+	// On this easy instance greedy should reach the optimum.
+	if r.Best() != 5 {
+		t.Errorf("greedy best = %d, want 5", r.Best())
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	bad := Query{P: 3, K: 1, N: 2} // no keywords
+	if _, err := Greedy(g, attrs, bad, GreedyOptions{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	g := fixtureGraph()
+	attrs := fixtureAttrs()
+	q := Query{Keywords: fixtureQuery(t, attrs), P: 3, K: 10, N: 2}
+	r, err := Greedy(g, attrs, q, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Groups) != 0 {
+		t.Fatal("greedy fabricated groups under impossible constraints")
+	}
+}
+
+// TestQuickGreedyFeasibleAndBounded: every greedy group satisfies the
+// KTG constraints and never beats the exact optimum.
+func TestQuickGreedyFeasibleAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, attrs, q := randomInstance(r)
+		greedy, err := Greedy(g, attrs, q, GreedyOptions{})
+		if err != nil {
+			return false
+		}
+		if !validGroups(g, attrs, q, greedy) {
+			return false
+		}
+		exact, err := Search(g, attrs, q, Options{Ordering: OrderVKCDegree})
+		if err != nil {
+			return false
+		}
+		if len(greedy.Groups) > 0 && len(exact.Groups) == 0 {
+			return false // greedy found a group the exact search missed
+		}
+		if len(greedy.Groups) > 0 && greedy.Best() > exact.Best() {
+			return false // greedy cannot beat the optimum
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyQualityOnFixtureFamily measures the coverage gap on slightly
+// larger random instances: greedy must stay within 70% of the optimum on
+// average (it is usually optimal; this guards against regressions that
+// would make it useless).
+func TestGreedyQualityOnFixtureFamily(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	totalExact, totalGreedy := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		g, attrs, q := randomInstance(r)
+		exact, err := Search(g, attrs, q, Options{Ordering: OrderVKCDegree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exact.Groups) == 0 {
+			continue
+		}
+		greedy, err := Greedy(g, attrs, q, GreedyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalExact += exact.Best()
+		totalGreedy += greedy.Best()
+	}
+	if totalExact == 0 {
+		t.Skip("no feasible instances sampled")
+	}
+	ratio := float64(totalGreedy) / float64(totalExact)
+	if ratio < 0.7 {
+		t.Errorf("greedy quality ratio %.2f below 0.7", ratio)
+	}
+	t.Logf("greedy/exact coverage ratio: %.3f", ratio)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ktg/internal/graph"
+	"ktg/internal/index"
+	"ktg/internal/keywords"
+)
+
+// randomInstance builds a random attributed graph and a random query.
+func randomInstance(r *rand.Rand) (*graph.Graph, *keywords.Attributes, Query) {
+	n := 4 + r.Intn(16)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.25 {
+				b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	g := b.Build()
+	vocab := 3 + r.Intn(8)
+	attrs := keywords.NewAttributes(n, nil)
+	for v := 0; v < n; v++ {
+		ids := make([]keywords.ID, r.Intn(4))
+		for i := range ids {
+			ids[i] = keywords.ID(r.Intn(vocab))
+		}
+		attrs.AssignIDs(graph.Vertex(v), ids...)
+	}
+	qk := make([]keywords.ID, 1+r.Intn(5))
+	for i := range qk {
+		qk[i] = keywords.ID(r.Intn(vocab))
+	}
+	q := Query{
+		Keywords: qk,
+		P:        1 + r.Intn(3),
+		K:        r.Intn(3),
+		N:        1 + r.Intn(3),
+	}
+	return g, attrs, q
+}
+
+// TestQuickAllVariantsMatchBruteForce is the central correctness property:
+// every ordering and every oracle must return the exact top-N coverage
+// profile computed by exhaustive enumeration.
+func TestQuickAllVariantsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, attrs, q := randomInstance(r)
+		want, err := BruteForce(g, attrs, q, Options{})
+		if err != nil {
+			return false
+		}
+		nl, err := index.BuildNL(g, index.NLOptions{H: 1 + r.Intn(3)})
+		if err != nil {
+			return false
+		}
+		nlrnl, err := index.BuildNLRNL(g)
+		if err != nil {
+			return false
+		}
+		oracles := []index.Oracle{index.NewBFSOracle(g), nl, nlrnl}
+		for _, ord := range []Ordering{OrderQKC, OrderVKC, OrderVKCDegree} {
+			for _, o := range oracles {
+				for _, noPrune := range []bool{false, true} {
+					got, err := Search(g, attrs, q, Options{
+						Ordering:              ord,
+						Oracle:                o,
+						DisableKeywordPruning: noPrune,
+						UncappedPruneBound:    seed%2 == 0,
+					})
+					if err != nil {
+						return false
+					}
+					if len(got.Groups) != len(want.Groups) {
+						return false
+					}
+					for i := range want.Groups {
+						if got.Groups[i].Coverage != want.Groups[i].Coverage {
+							return false
+						}
+					}
+					if !validGroups(g, attrs, q, got) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validGroups(g *graph.Graph, attrs *keywords.Attributes, q Query, r *Result) bool {
+	kq, err := keywords.CompileQuery(attrs, q.Keywords)
+	if err != nil {
+		return false
+	}
+	tr := graph.NewTraverser(g.NumVertices())
+	for _, grp := range r.Groups {
+		if len(grp.Members) != q.P {
+			return false
+		}
+		for i, v := range grp.Members {
+			if !kq.Covers(v) {
+				return false
+			}
+			for j := i + 1; j < len(grp.Members); j++ {
+				if tr.Within(g, v, grp.Members[j], q.K) {
+					return false
+				}
+			}
+		}
+		if kq.GroupCoverageCount(grp.Members) != grp.Coverage {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickDiverseInvariants checks the DKTG-Greedy guarantees: disjoint
+// groups, the first group attains the global optimum coverage, and all
+// groups satisfy the KTG feasibility constraints.
+func TestQuickDiverseInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, attrs, q := randomInstance(r)
+		dr, err := SearchDiverse(g, attrs, q, DiverseOptions{Gamma: 0.5})
+		if err != nil {
+			return false
+		}
+		// Members must be globally disjoint.
+		seen := map[graph.Vertex]bool{}
+		for _, grp := range dr.Groups {
+			for _, v := range grp.Members {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		if len(dr.Groups) > 1 && dr.Diversity != 1 {
+			return false // disjoint groups have Jaccard distance 1
+		}
+		// The first group must attain the global optimum coverage.
+		best, err := Search(g, attrs, Query{Keywords: q.Keywords, P: q.P, K: q.K, N: 1},
+			Options{Ordering: OrderVKCDegree})
+		if err != nil {
+			return false
+		}
+		if len(best.Groups) == 0 {
+			return len(dr.Groups) == 0
+		}
+		if len(dr.Groups) == 0 || dr.Groups[0].Coverage != best.Groups[0].Coverage {
+			return false
+		}
+		// Feasibility of every group.
+		plain := &Result{Groups: dr.Groups, QueryWidth: dr.QueryWidth}
+		return validGroups(g, attrs, q, plain)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

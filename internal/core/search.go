@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ktg/internal/bitset"
+	"ktg/internal/graph"
+	"ktg/internal/index"
+	"ktg/internal/keywords"
+)
+
+// Search answers a KTG query exactly with the paper's branch-and-bound:
+// candidates are ranked by the configured Ordering, subtrees that cannot
+// beat the current N-th best coverage are cut by keyword pruning
+// (Theorem 2), and candidates within distance K of a chosen member are
+// removed by k-line filtering (Theorem 3).
+//
+// The returned groups are k-distance groups of size P whose members each
+// cover at least one query keyword, ranked by descending joint coverage.
+// If fewer than N feasible groups exist, all of them are returned.
+func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if attrs.NumVertices() != g.NumVertices() {
+		return nil, fmt.Errorf("core: attributes cover %d vertices, graph has %d",
+			attrs.NumVertices(), g.NumVertices())
+	}
+	kq, err := keywords.CompileQuery(attrs, q.Keywords)
+	if err != nil {
+		return nil, err
+	}
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = index.NewBFSOracle(g)
+	}
+	s := &searcher{
+		q:        q,
+		kq:       kq,
+		oracle:   oracle,
+		ordering: opts.Ordering,
+		pruning:  !opts.DisableKeywordPruning,
+		uncapped: opts.UncappedPruneBound,
+		maxNodes: opts.MaxNodes,
+		heap:     newTopN(q.N),
+		si:       make([]graph.Vertex, 0, q.P),
+	}
+	if opts.MaxDuration > 0 {
+		s.deadline = time.Now().Add(opts.MaxDuration)
+	}
+	if s.ordering == OrderVKCDegree {
+		s.deg = make([]int32, g.NumVertices())
+		for v := 0; v < g.NumVertices(); v++ {
+			s.deg[v] = int32(g.Degree(graph.Vertex(v)))
+		}
+	}
+	// Per-depth scratch: candidate buffers and covered-set buffers.
+	s.candBuf = make([][]candidate, q.P)
+	s.coverBuf = make([]bitset.Set, q.P+1)
+	for d := range s.coverBuf {
+		s.coverBuf[d] = bitset.New(kq.Width())
+	}
+
+	// Initial S_R: vertices covering at least one query keyword, minus
+	// explicit exclusions and anyone socially close to a query vertex,
+	// ranked by the configured ordering (VKC w.r.t. the empty group
+	// equals the static coverage count).
+	var excluded []bool
+	if len(opts.ExcludeVertices) > 0 {
+		excluded = make([]bool, g.NumVertices())
+		for _, v := range opts.ExcludeVertices {
+			if int(v) < len(excluded) {
+				excluded[v] = true
+			}
+		}
+	}
+	root := make([]candidate, 0, 64)
+	for _, v := range kq.Candidates() {
+		if excluded != nil && excluded[v] {
+			continue
+		}
+		nearQueryVertex := false
+		for _, qv := range opts.QueryVertices {
+			s.stats.OracleCalls++
+			if oracle.Within(qv, v, q.K) {
+				nearQueryVertex = true
+				break
+			}
+		}
+		if nearQueryVertex {
+			s.stats.Filtered++
+			continue
+		}
+		root = append(root, candidate{v: v, key: int32(kq.CoverageCount(v)), deg: s.degree(v)})
+	}
+	s.sortCandidates(root)
+
+	s.explore(root, s.coverBuf[0], 0)
+
+	res := &Result{
+		Groups:     s.heap.Groups(),
+		QueryWidth: kq.Width(),
+		Stats:      s.stats,
+	}
+	if s.budgetHit {
+		return res, fmt.Errorf("search aborted after %d nodes: %w", s.stats.Nodes, ErrBudgetExhausted)
+	}
+	return res, nil
+}
+
+type candidate struct {
+	v   graph.Vertex
+	key int32 // VKC count (or static coverage count under OrderQKC)
+	deg int32 // vertex degree (only set under OrderVKCDegree)
+}
+
+type searcher struct {
+	q        Query
+	kq       *keywords.Query
+	oracle   index.Oracle
+	ordering Ordering
+	pruning  bool
+	uncapped bool
+	maxNodes int64
+	deadline time.Time
+
+	deg      []int32
+	heap     *topN
+	stats    Stats
+	si       []graph.Vertex
+	candBuf  [][]candidate
+	coverBuf []bitset.Set
+
+	budgetHit bool
+}
+
+func (s *searcher) degree(v graph.Vertex) int32 {
+	if s.deg == nil {
+		return 0
+	}
+	return s.deg[v]
+}
+
+// explore expands one branch-and-bound node: si (the intermediate group
+// S_I) has `depth` members jointly covering `covered`, and cands is the
+// remaining candidate set S_R, ranked and already k-line-compatible with
+// every member of S_I.
+func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
+	s.stats.Nodes++
+	if s.maxNodes > 0 && s.stats.Nodes > s.maxNodes {
+		s.budgetHit = true
+		return
+	}
+	if !s.deadline.IsZero() && s.stats.Nodes&127 == 0 && time.Now().After(s.deadline) {
+		s.budgetHit = true
+		return
+	}
+	need := s.q.P - depth
+	if need == 0 {
+		s.stats.Feasible++
+		s.offer(covered.Count())
+		return
+	}
+	if len(cands) < need {
+		return
+	}
+	childCover := s.coverBuf[depth+1]
+	for i := 0; i+need <= len(cands); i++ {
+		if s.pruning {
+			// Theorem 2: coverage already secured plus the best
+			// possible increment from the top `need` remaining
+			// candidates bounds every group formed from cands[i:].
+			// Group coverage can never exceed |W_Q|, so the bound is
+			// capped there — once N full-coverage groups are held,
+			// the whole remaining frontier collapses. Keys are sorted
+			// descending, so the bound is monotone in i and the loop
+			// can stop outright rather than skip.
+			ub := covered.Count()
+			for j := i; j < i+need; j++ {
+				ub += int(cands[j].key)
+			}
+			if !s.uncapped {
+				if w := s.kq.Width(); ub > w {
+					ub = w
+				}
+			}
+			if ub <= s.heap.Threshold() {
+				s.stats.Pruned++
+				break
+			}
+		}
+		v := cands[i]
+		childCover.CopyFrom(covered)
+		childCover.UnionWith(s.kq.Mask(v.v))
+
+		// k-line filtering (Theorem 3): drop candidates within K of v.
+		child := s.candBuf[depth][:0]
+		for _, u := range cands[i+1:] {
+			s.stats.OracleCalls++
+			if s.oracle.Within(v.v, u.v, s.q.K) {
+				s.stats.Filtered++
+				continue
+			}
+			if s.ordering != OrderQKC {
+				u.key = int32(s.kq.VKCCount(u.v, childCover))
+			}
+			child = append(child, u)
+		}
+		if s.ordering != OrderQKC {
+			s.sortCandidates(child)
+		}
+		s.candBuf[depth] = child // keep any growth for reuse
+
+		s.si = append(s.si, v.v)
+		s.explore(child, childCover, depth+1)
+		s.si = s.si[:len(s.si)-1]
+		if s.budgetHit {
+			return
+		}
+	}
+}
+
+// offer submits the current S_I as a feasible group.
+func (s *searcher) offer(coverage int) {
+	members := append([]graph.Vertex(nil), s.si...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	s.heap.Offer(members, coverage)
+}
+
+// sortCandidates ranks S_R per the configured ordering. All orderings
+// sort by descending key; VKC-DEG breaks ties by ascending degree (fewer
+// social conflicts first); vertex id is the final tie-break so runs are
+// deterministic.
+func (s *searcher) sortCandidates(cands []candidate) {
+	switch s.ordering {
+	case OrderVKCDegree:
+		sort.Slice(cands, func(i, j int) bool {
+			a, b := cands[i], cands[j]
+			if a.key != b.key {
+				return a.key > b.key
+			}
+			if a.deg != b.deg {
+				return a.deg < b.deg
+			}
+			return a.v < b.v
+		})
+	default:
+		sort.Slice(cands, func(i, j int) bool {
+			a, b := cands[i], cands[j]
+			if a.key != b.key {
+				return a.key > b.key
+			}
+			return a.v < b.v
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"ktg/internal/graph"
+	"ktg/internal/index"
+)
+
+// TenuityReport quantifies how tenuous a group is under the metrics the
+// paper surveys in Section II: the k-line count of Li [2], the
+// k-triangle count of Shen et al. [1], the k-tenuity ratio of Li et
+// al. [18], and the paper's own measure (Definition 4): the minimum
+// pairwise distance. A KTG result group always has KLines == 0 and
+// MinDistance > k; baseline algorithms like TAGQ do not guarantee
+// either, which is what the case study demonstrates.
+type TenuityReport struct {
+	// K is the hop threshold the counts refer to.
+	K int
+	// Pairs is the number of member pairs, C(|g|, 2).
+	Pairs int
+	// KLines counts member pairs within K hops (Definition 2).
+	KLines int
+	// KTriangles counts member triples whose three pairwise distances
+	// are all within K hops.
+	KTriangles int
+	// KTenuity is KLines / Pairs, the ratio metric of Li et al. [18]
+	// (0 when the group has fewer than two members).
+	KTenuity float64
+	// MinDistance is the smallest pairwise hop distance — the paper's
+	// tenuity of a group (Definition 4). -1 means every pair is
+	// disconnected (infinitely tenuous).
+	MinDistance int
+}
+
+// MeasureTenuity audits a group against the tenuity metrics. The oracle
+// may be any distance index; pass nil for BFS. Distances are measured
+// exactly up to maxHops (pairs farther apart count as disconnected for
+// MinDistance purposes); maxHops must be >= k.
+func MeasureTenuity(g graph.Topology, members []graph.Vertex, k, maxHops int, oracle index.Oracle) TenuityReport {
+	if maxHops < k {
+		maxHops = k
+	}
+	if oracle == nil {
+		oracle = index.NewBFSOracle(g)
+	}
+	n := len(members)
+	rep := TenuityReport{K: k, Pairs: n * (n - 1) / 2, MinDistance: -1}
+
+	// within[i][j] records dist <= k for the triangle count.
+	within := make([][]bool, n)
+	for i := range within {
+		within[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			u, v := members[i], members[j]
+			if oracle.Within(u, v, k) {
+				rep.KLines++
+				within[i][j] = true
+				within[j][i] = true
+			}
+			// Exact distance up to maxHops for MinDistance: binary
+			// search over the Within predicate.
+			d := boundedDistance(oracle, u, v, maxHops)
+			if d >= 0 && (rep.MinDistance < 0 || d < rep.MinDistance) {
+				rep.MinDistance = d
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !within[i][j] {
+				continue
+			}
+			for l := j + 1; l < n; l++ {
+				if within[i][l] && within[j][l] {
+					rep.KTriangles++
+				}
+			}
+		}
+	}
+	if rep.Pairs > 0 {
+		rep.KTenuity = float64(rep.KLines) / float64(rep.Pairs)
+	}
+	return rep
+}
+
+// boundedDistance recovers the exact distance (up to maxHops) from the
+// Within predicate by binary search; -1 if dist > maxHops.
+func boundedDistance(oracle index.Oracle, u, v graph.Vertex, maxHops int) int {
+	if u == v {
+		return 0
+	}
+	if !oracle.Within(u, v, maxHops) {
+		return -1
+	}
+	lo, hi := 1, maxHops // invariant: dist <= hi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if oracle.Within(u, v, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// IsKDistanceGroup reports whether the group satisfies Definition 3:
+// every pairwise distance strictly exceeds k.
+func IsKDistanceGroup(g graph.Topology, members []graph.Vertex, k int, oracle index.Oracle) bool {
+	if oracle == nil {
+		oracle = index.NewBFSOracle(g)
+	}
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if oracle.Within(members[i], members[j], k) {
+				return false
+			}
+		}
+	}
+	return true
+}

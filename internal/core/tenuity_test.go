@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ktg/internal/graph"
+)
+
+func TestMeasureTenuityKnownGroups(t *testing.T) {
+	g := fixtureGraph()
+	// {u0, u6, u10}: pairwise distances are all exactly 2.
+	rep := MeasureTenuity(g, []graph.Vertex{0, 6, 10}, 1, 8, nil)
+	if rep.KLines != 0 {
+		t.Errorf("KLines = %d, want 0 (no pair within 1 hop)", rep.KLines)
+	}
+	if rep.MinDistance != 2 {
+		t.Errorf("MinDistance = %d, want 2", rep.MinDistance)
+	}
+	if rep.KTenuity != 0 {
+		t.Errorf("KTenuity = %v, want 0", rep.KTenuity)
+	}
+	// Same group at k=2: every pair is a 2-line, forming one 2-triangle.
+	rep2 := MeasureTenuity(g, []graph.Vertex{0, 6, 10}, 2, 8, nil)
+	if rep2.KLines != 3 {
+		t.Errorf("KLines = %d, want 3", rep2.KLines)
+	}
+	if rep2.KTriangles != 1 {
+		t.Errorf("KTriangles = %d, want 1", rep2.KTriangles)
+	}
+	if rep2.KTenuity != 1 {
+		t.Errorf("KTenuity = %v, want 1", rep2.KTenuity)
+	}
+}
+
+func TestMeasureTenuityAdjacentPair(t *testing.T) {
+	g := fixtureGraph()
+	rep := MeasureTenuity(g, []graph.Vertex{6, 7}, 1, 8, nil)
+	if rep.KLines != 1 || rep.MinDistance != 1 || rep.KTenuity != 1 {
+		t.Errorf("adjacent pair: %+v", rep)
+	}
+	if rep.Pairs != 1 || rep.KTriangles != 0 {
+		t.Errorf("pair accounting: %+v", rep)
+	}
+}
+
+func TestMeasureTenuityDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.Vertex{{0, 1}, {2, 3}})
+	rep := MeasureTenuity(g, []graph.Vertex{0, 2}, 2, 6, nil)
+	if rep.MinDistance != -1 {
+		t.Errorf("MinDistance = %d, want -1 for disconnected pair", rep.MinDistance)
+	}
+	if rep.KLines != 0 {
+		t.Errorf("KLines = %d", rep.KLines)
+	}
+}
+
+func TestMeasureTenuitySingleton(t *testing.T) {
+	g := fixtureGraph()
+	rep := MeasureTenuity(g, []graph.Vertex{3}, 2, 6, nil)
+	if rep.Pairs != 0 || rep.KLines != 0 || rep.KTenuity != 0 || rep.MinDistance != -1 {
+		t.Errorf("singleton: %+v", rep)
+	}
+}
+
+func TestIsKDistanceGroup(t *testing.T) {
+	g := fixtureGraph()
+	if !IsKDistanceGroup(g, []graph.Vertex{0, 6, 10}, 1, nil) {
+		t.Error("{0,6,10} should be a 1-distance group")
+	}
+	if IsKDistanceGroup(g, []graph.Vertex{0, 6, 10}, 2, nil) {
+		t.Error("{0,6,10} is not a 2-distance group (pairs at distance 2)")
+	}
+	if IsKDistanceGroup(g, []graph.Vertex{6, 7}, 1, nil) {
+		t.Error("adjacent pair accepted")
+	}
+}
+
+// TestQuickSearchResultsPassTenuityAudit: every group an exact search
+// returns must audit clean — zero k-lines and MinDistance > k.
+func TestQuickSearchResultsPassTenuityAudit(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, attrs, q := randomInstance(r)
+		res, err := Search(g, attrs, q, Options{Ordering: OrderVKCDegree})
+		if err != nil {
+			return false
+		}
+		for _, grp := range res.Groups {
+			rep := MeasureTenuity(g, grp.Members, q.K, q.K+4, nil)
+			if rep.KLines != 0 || rep.KTriangles != 0 {
+				return false
+			}
+			if rep.MinDistance >= 0 && rep.MinDistance <= q.K {
+				return false
+			}
+			if !IsKDistanceGroup(g, grp.Members, q.K, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBoundedDistanceMatchesBFS cross-checks the binary-search
+// distance recovery against ground truth.
+func TestQuickBoundedDistanceMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.2 {
+					b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+				}
+			}
+		}
+		g := b.Build()
+		tr := graph.NewTraverser(n)
+		rep := MeasureTenuity(g, []graph.Vertex{0, graph.Vertex(n - 1)}, 2, 8, nil)
+		want := tr.Distance(g, 0, graph.Vertex(n-1), 8)
+		return rep.MinDistance == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"container/heap"
+
+	"ktg/internal/graph"
+)
+
+// topN keeps the N best groups seen so far in a bounded min-heap keyed by
+// coverage. Threshold() is the paper's C_max: the coverage a new group
+// must strictly exceed to displace the current N-th group (-1 while the
+// heap is not yet full, so everything feasible is accepted).
+type topN struct {
+	n     int
+	items groupHeap
+}
+
+func newTopN(n int) *topN {
+	return &topN{n: n}
+}
+
+// Threshold returns C_max: the N-th best coverage once N groups are held,
+// or -1 before that.
+func (t *topN) Threshold() int {
+	if len(t.items) < t.n {
+		return -1
+	}
+	return t.items[0].Coverage
+}
+
+// Offer inserts the group if it improves the top-N. Groups equal to the
+// threshold do not displace existing ones (the paper keeps first-found
+// groups on ties). It reports whether the group was kept.
+func (t *topN) Offer(members []graph.Vertex, coverage int) bool {
+	if len(t.items) < t.n {
+		g := Group{Members: append([]graph.Vertex(nil), members...), Coverage: coverage}
+		heap.Push(&t.items, g)
+		return true
+	}
+	if coverage <= t.items[0].Coverage {
+		return false
+	}
+	t.items[0] = Group{Members: append([]graph.Vertex(nil), members...), Coverage: coverage}
+	heap.Fix(&t.items, 0)
+	return true
+}
+
+// Groups extracts the held groups in descending coverage order.
+func (t *topN) Groups() []Group {
+	out := append([]Group(nil), t.items...)
+	sortGroups(out)
+	return out
+}
+
+// groupHeap is a min-heap on coverage.
+type groupHeap []Group
+
+func (h groupHeap) Len() int            { return len(h) }
+func (h groupHeap) Less(i, j int) bool  { return h[i].Coverage < h[j].Coverage }
+func (h groupHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *groupHeap) Push(x interface{}) { *h = append(*h, x.(Group)) }
+func (h *groupHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

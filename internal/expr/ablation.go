@@ -1,0 +1,93 @@
+package expr
+
+import (
+	"time"
+
+	"ktg/internal/core"
+	"ktg/internal/index"
+	"ktg/internal/workload"
+)
+
+// runAblation measures the design choices DESIGN.md calls out, on one
+// dataset at default parameters:
+//
+//   - keyword pruning on/off (Theorem 2),
+//   - the paper's uncapped bound vs this implementation's capped bound,
+//   - candidate orderings QKC / VKC / VKC-DEG,
+//   - distance oracles BFS / NL / NLRNL / PLL,
+//   - the exact search vs the approximate Greedy.
+func runAblation(e *Env) (*Report, error) {
+	d, err := e.Data("gowalla")
+	if err != nil {
+		return nil, err
+	}
+	pll, err := index.BuildPLL(d.DS.Graph)
+	if err != nil {
+		return nil, err
+	}
+	prm := workload.DefaultParams
+	batch := d.Gen.Batch(e.Queries, prm.W)
+
+	type variant struct {
+		name string
+		run  func(q core.Query) error
+	}
+	base := func(mutate func(*core.Options)) func(q core.Query) error {
+		return func(q core.Query) error {
+			opts := core.Options{
+				Ordering:           core.OrderVKCDegree,
+				Oracle:             d.NLRNL,
+				MaxNodes:           e.MaxNodes,
+				MaxDuration:        e.MaxTime,
+				UncappedPruneBound: e.PaperBound,
+			}
+			if mutate != nil {
+				mutate(&opts)
+			}
+			_, err := core.Search(d.DS.Graph, d.DS.Attrs, q, opts)
+			return err
+		}
+	}
+	variants := []variant{
+		{"baseline(VKC-DEG,NLRNL)", base(nil)},
+		{"pruning-off", base(func(o *core.Options) { o.DisableKeywordPruning = true })},
+		{"bound-capped", base(func(o *core.Options) { o.UncappedPruneBound = false })},
+		{"order-QKC", base(func(o *core.Options) { o.Ordering = core.OrderQKC })},
+		{"order-VKC", base(func(o *core.Options) { o.Ordering = core.OrderVKC })},
+		{"oracle-BFS", base(func(o *core.Options) { o.Oracle = index.NewBFSOracle(d.DS.Graph) })},
+		{"oracle-NL", base(func(o *core.Options) { o.Oracle = d.NL })},
+		{"oracle-PLL", base(func(o *core.Options) { o.Oracle = pll })},
+		{"greedy-approx", func(q core.Query) error {
+			_, err := core.Greedy(d.DS.Graph, d.DS.Attrs, q, core.GreedyOptions{Oracle: d.NLRNL})
+			return err
+		}},
+	}
+
+	var rows []Row
+	for _, v := range variants {
+		durations := make([]time.Duration, 0, len(batch))
+		exhausted := 0
+		for _, qk := range batch {
+			q := core.Query{Keywords: qk, P: prm.P, K: prm.K, N: prm.N}
+			start := time.Now()
+			err := v.run(q)
+			durations = append(durations, time.Since(start))
+			if err != nil {
+				if isBudget(err) {
+					exhausted++
+					continue
+				}
+				return nil, err
+			}
+		}
+		rows = append(rows, Row{
+			Experiment: "ablation",
+			Dataset:    d.DS.Name,
+			Param:      "-",
+			Algo:       v.name,
+			Latency:    workload.Summarize(durations),
+			Exhausted:  exhausted,
+		})
+	}
+	return &Report{ID: "ablation", Title: "design-choice ablations", Rows: rows}, nil
+}

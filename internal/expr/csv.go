@@ -1,0 +1,45 @@
+package expr
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits measurement rows as CSV for downstream plotting:
+// experiment, dataset, param, value, algo, samples, mean_us, median_us,
+// p95_us, max_us, exhausted, space_bytes, build_us.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"experiment", "dataset", "param", "value", "algo",
+		"samples", "mean_us", "median_us", "p95_us", "max_us",
+		"exhausted", "space_bytes", "build_us",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("expr: writing CSV header: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Experiment,
+			r.Dataset,
+			r.Param,
+			strconv.Itoa(r.Value),
+			r.Algo,
+			strconv.Itoa(r.Latency.Samples),
+			strconv.FormatInt(r.Latency.Mean.Microseconds(), 10),
+			strconv.FormatInt(r.Latency.Median.Microseconds(), 10),
+			strconv.FormatInt(r.Latency.P95.Microseconds(), 10),
+			strconv.FormatInt(r.Latency.Max.Microseconds(), 10),
+			strconv.Itoa(r.Exhausted),
+			strconv.FormatInt(r.Space, 10),
+			strconv.FormatInt(r.Build.Microseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("expr: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

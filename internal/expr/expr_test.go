@@ -1,0 +1,213 @@
+package expr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ktg/internal/graph"
+	"ktg/internal/workload"
+)
+
+// tinyEnv keeps experiment smoke tests fast: minuscule datasets, few
+// queries.
+func tinyEnv() *Env {
+	e := NewEnv(0.004, 2, 1)
+	e.MaxNodes = 200_000
+	return e
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	ids := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "ablation"}
+	all := All()
+	if len(all) != len(ids) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(ids))
+	}
+	for i, id := range ids {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := Find(id); !ok {
+			t.Errorf("Find(%s) failed", id)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find accepted an unknown id")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, err := runTable1(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"group size p", "social constraint k", "N value"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("table1 text missing %q", want)
+		}
+	}
+	if !strings.Contains(rep.Format(), "Table I") {
+		t.Error("Format drops the title")
+	}
+}
+
+func TestDataCachesAndBuildsIndexes(t *testing.T) {
+	e := tinyEnv()
+	d1, err := e.Data("gowalla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.NL == nil || d1.NLRNL == nil {
+		t.Fatal("indexes not built")
+	}
+	if d1.NLBuild <= 0 || d1.NLRNLBuild <= 0 {
+		t.Error("construction times not recorded")
+	}
+	d2, err := e.Data("gowalla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("Data not cached")
+	}
+}
+
+func TestRunPointAllAlgos(t *testing.T) {
+	e := tinyEnv()
+	d, err := e.Data("brightkite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := workload.Params{P: 3, K: 1, W: 4, N: 2}
+	batch := d.Gen.Batch(2, prm.W)
+	for _, algo := range []Algo{AlgoQKCNLRNL, AlgoVKCNL, AlgoVKCNLRNL, AlgoVKCDEGNLRNL, AlgoVKCDEGBFS, AlgoDKTGGreedy} {
+		lat, _, err := e.runPoint(d, algo, prm, batch)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if lat.Samples != 2 {
+			t.Errorf("%s: %d samples, want 2", algo, lat.Samples)
+		}
+	}
+	if _, _, err := e.runPoint(d, Algo("bogus"), prm, batch); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestFig9SmallScale(t *testing.T) {
+	e := tinyEnv()
+	rep, err := runFig9(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 8 {
+		t.Fatalf("fig9 rows = %d, want 8 (4 datasets x 2 indexes)", len(rep.Rows))
+	}
+	// The headline finding: NLRNL needs less space than NL on every
+	// dataset, while costing more to build.
+	for i := 0; i < len(rep.Rows); i += 2 {
+		nl, nlrnl := rep.Rows[i], rep.Rows[i+1]
+		if nl.Algo != "NL" || nlrnl.Algo != "NLRNL" {
+			t.Fatalf("unexpected row order: %s, %s", nl.Algo, nlrnl.Algo)
+		}
+		if nlrnl.Space >= nl.Space {
+			t.Errorf("%s: NLRNL space %d >= NL space %d", nl.Dataset, nlrnl.Space, nl.Space)
+		}
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "space") || !strings.Contains(out, "build") {
+		t.Error("fig9 Format missing columns")
+	}
+}
+
+func TestFig8CaseStudy(t *testing.T) {
+	e := tinyEnv()
+	rep, err := runFig8(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"KTG-VKC-DEG", "DKTG-Greedy", "TAGQ", "pairwise hops"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("case study missing %q", want)
+		}
+	}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	e := tinyEnv()
+	rows, err := e.sweep("smoke", "p", []int{3}, []string{"gowalla"},
+		[]Algo{AlgoVKCDEGNLRNL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Param != "p" || r.Value != 3 || r.Latency.Samples != e.Queries {
+		t.Errorf("unexpected row: %+v", r)
+	}
+	rep := &Report{ID: "smoke", Title: "t", Rows: rows}
+	if !strings.Contains(rep.Format(), "KTG-VKC-DEG-NLRNL") {
+		t.Error("Format missing algorithm name")
+	}
+}
+
+func TestIsBudget(t *testing.T) {
+	if isBudget(nil) {
+		t.Error("nil is not budget exhaustion")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{{
+		Experiment: "fig3", Dataset: "D", Param: "p", Value: 3,
+		Algo:    "KTG-VKC-DEG-NLRNL",
+		Latency: workload.Latency{Samples: 2, Mean: 1500 * time.Microsecond},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"experiment,dataset", "fig3,D,p,3,KTG-VKC-DEG-NLRNL,2,1500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	e := tinyEnv()
+	rep, err := runAblation(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 9 {
+		t.Fatalf("ablation rows = %d, want 9", len(rep.Rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rep.Rows {
+		names[r.Algo] = true
+	}
+	for _, want := range []string{"baseline(VKC-DEG,NLRNL)", "pruning-off", "bound-capped", "oracle-PLL", "greedy-approx"} {
+		if !names[want] {
+			t.Errorf("ablation missing variant %q", want)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.Vertex{{0, 1}, {1, 2}, {2, 3}})
+	got := Hops(g, []graph.Vertex{0, 2, 3})
+	want := []int{2, 3, 1} // d(0,2), d(0,3), d(2,3)
+	if len(got) != len(want) {
+		t.Fatalf("Hops = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Hops = %v, want %v", got, want)
+		}
+	}
+}

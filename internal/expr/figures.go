@@ -1,0 +1,298 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ktg/internal/core"
+	"ktg/internal/graph"
+	"ktg/internal/keywords"
+	"ktg/internal/workload"
+)
+
+// Report is the output of one experiment: measurement rows and, for the
+// case study, a rendered narrative.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Text  string
+}
+
+// Experiment is a regenerable table or figure from the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Env) (*Report, error)
+}
+
+// mainDatasets are the four datasets of Figures 3–6.
+var mainDatasets = []string{"gowalla", "brightkite", "flickr", "dblp"}
+
+// fig3Algos includes the KTG-QKC baseline, which the paper drops from
+// later figures.
+var fig3Algos = []Algo{AlgoQKCNLRNL, AlgoVKCNL, AlgoVKCNLRNL, AlgoVKCDEGNLRNL, AlgoDKTGGreedy}
+var laterAlgos = []Algo{AlgoVKCNL, AlgoVKCNLRNL, AlgoVKCDEGNLRNL, AlgoDKTGGreedy}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: parameter ranges and defaults", runTable1},
+		{"fig3", "Figure 3: latency vs group size p", runFig3},
+		{"fig4", "Figure 4: latency vs social constraint k", runFig4},
+		{"fig5", "Figure 5: latency vs query keyword size |W_Q|", runFig5},
+		{"fig6", "Figure 6: latency vs N", runFig6},
+		{"fig7a", "Figure 7(a): denser graph (Twitter), latency vs p", runFig7a},
+		{"fig7b", "Figure 7(b): large graph (DBLP-1M), latency vs k", runFig7b},
+		{"fig8", "Figure 8: case study (KTG-VKC-DEG vs DKTG-Greedy vs TAGQ)", runFig8},
+		{"fig9", "Figure 9: index space and construction time", runFig9},
+		{"ablation", "Design-choice ablations (extra, not a paper figure)", runAblation},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func runTable1(e *Env) (*Report, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parameter ranges (defaults in brackets):\n")
+	fmt.Fprintf(&b, "  group size p:          %v [%d]\n", workload.SweepP, workload.DefaultParams.P)
+	fmt.Fprintf(&b, "  social constraint k:   %v [%d]\n", workload.SweepK, workload.DefaultParams.K)
+	fmt.Fprintf(&b, "  query keyword size:    %v [%d]\n", workload.SweepW, workload.DefaultParams.W)
+	fmt.Fprintf(&b, "  N value:               %v [%d]\n", workload.SweepN, workload.DefaultParams.N)
+	return &Report{ID: "table1", Title: "Table I", Text: b.String()}, nil
+}
+
+func runFig3(e *Env) (*Report, error) {
+	rows, err := e.sweep("fig3", "p", workload.SweepP, mainDatasets, fig3Algos)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "fig3", Title: "latency vs p", Rows: rows}, nil
+}
+
+func runFig4(e *Env) (*Report, error) {
+	rows, err := e.sweep("fig4", "k", workload.SweepK, mainDatasets, laterAlgos)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "fig4", Title: "latency vs k", Rows: rows}, nil
+}
+
+func runFig5(e *Env) (*Report, error) {
+	rows, err := e.sweep("fig5", "w", workload.SweepW, mainDatasets, laterAlgos)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "fig5", Title: "latency vs |W_Q|", Rows: rows}, nil
+}
+
+func runFig6(e *Env) (*Report, error) {
+	rows, err := e.sweep("fig6", "n", workload.SweepN, mainDatasets, laterAlgos)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "fig6", Title: "latency vs N", Rows: rows}, nil
+}
+
+// runFig7a compares the degree tie-break on the denser Twitter graph.
+func runFig7a(e *Env) (*Report, error) {
+	rows, err := e.sweep("fig7a", "p", workload.SweepP,
+		[]string{"twitter"}, []Algo{AlgoVKCNLRNL, AlgoVKCDEGNLRNL})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "fig7a", Title: "denser graph", Rows: rows}, nil
+}
+
+// runFig7b compares NL against NLRNL scalability on the large DBLP graph.
+func runFig7b(e *Env) (*Report, error) {
+	rows, err := e.sweep("fig7b", "k", workload.SweepK,
+		[]string{"dblp1m"}, []Algo{AlgoVKCNL, AlgoVKCDEGNLRNL})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "fig7b", Title: "large graph", Rows: rows}, nil
+}
+
+// runFig8 reproduces the case study: the same reviewer-selection query
+// answered by KTG-VKC-DEG, DKTG-Greedy, and the TAGQ baseline, reporting
+// each group's members, their covered query keywords, and pairwise hop
+// distances. TAGQ's zero-coverage members are flagged — the paper's red
+// lines.
+func runFig8(e *Env) (*Report, error) {
+	d, err := e.Data("dblp")
+	if err != nil {
+		return nil, err
+	}
+	qk := d.Gen.QueryKeywords(5)
+	q := core.Query{Keywords: qk, P: 3, K: 2, N: 3}
+
+	var b strings.Builder
+	names := make([]string, len(qk))
+	for i, id := range qk {
+		names[i] = d.DS.Attrs.Vocabulary().Name(id)
+	}
+	fmt.Fprintf(&b, "Query keywords: %s\nN=%d p=%d k=%d\n\n", strings.Join(names, ", "), q.N, q.P, q.K)
+
+	ktgRes, err := core.Search(d.DS.Graph, d.DS.Attrs, q, core.Options{
+		Ordering: core.OrderVKCDegree, Oracle: d.NLRNL, MaxNodes: e.MaxNodes,
+	})
+	if err != nil && !isBudget(err) {
+		return nil, err
+	}
+	renderCaseGroups(&b, "KTG-VKC-DEG", d, qk, ktgRes.Groups)
+
+	dktg, err := core.SearchDiverse(d.DS.Graph, d.DS.Attrs, q, core.DiverseOptions{
+		Options: core.Options{Ordering: core.OrderVKCDegree, Oracle: d.NLRNL, MaxNodes: e.MaxNodes},
+		Gamma:   0.5,
+	})
+	if err != nil && !isBudget(err) {
+		return nil, err
+	}
+	renderCaseGroups(&b, "DKTG-Greedy", d, qk, dktg.Groups)
+
+	tagq, err := core.TAGQ(d.DS.Graph, d.DS.Attrs, q, core.TAGQOptions{Oracle: d.NLRNL})
+	if err != nil {
+		return nil, err
+	}
+	renderCaseGroups(&b, "TAGQ", d, qk, tagq.Groups)
+
+	return &Report{ID: "fig8", Title: "case study", Text: b.String()}, nil
+}
+
+func renderCaseGroups(b *strings.Builder, name string, d *Data, qk []keywords.ID, groups []core.Group) {
+	fmt.Fprintf(b, "%s:\n", name)
+	if len(groups) == 0 {
+		fmt.Fprintf(b, "  (no feasible group)\n\n")
+		return
+	}
+	queryKeywordSet := map[keywords.ID]bool{}
+	for _, id := range qk {
+		queryKeywordSet[id] = true
+	}
+	for gi, g := range groups {
+		fmt.Fprintf(b, "  group %d (coverage %d/%d):\n", gi+1, g.Coverage, len(qk))
+		for _, v := range g.Members {
+			var hit []string
+			for _, id := range d.DS.Attrs.Keywords(v) {
+				if queryKeywordSet[id] {
+					hit = append(hit, d.DS.Attrs.Vocabulary().Name(id))
+				}
+			}
+			marker := ""
+			if len(hit) == 0 {
+				marker = "  << covers NO query keyword"
+			}
+			fmt.Fprintf(b, "    u%-8d covers {%s}%s\n", v, strings.Join(hit, ", "), marker)
+		}
+		fmt.Fprintf(b, "    pairwise hops:")
+		for i := 0; i < len(g.Members); i++ {
+			for j := i + 1; j < len(g.Members); j++ {
+				fmt.Fprintf(b, " d(u%d,u%d)=%d", g.Members[i], g.Members[j],
+					d.NLRNL.Distance(g.Members[i], g.Members[j]))
+			}
+		}
+		rep := core.MeasureTenuity(d.DS.Graph, g.Members, 2, 8, d.NLRNL)
+		fmt.Fprintf(b, "\n    tenuity audit: %d k-lines, %d k-triangles, k-tenuity %.2f, min distance %d\n",
+			rep.KLines, rep.KTriangles, rep.KTenuity, rep.MinDistance)
+	}
+	fmt.Fprintf(b, "\n")
+}
+
+// runFig9 measures index space (a) and construction time (b) for both
+// indexes on the four main datasets.
+func runFig9(e *Env) (*Report, error) {
+	var rows []Row
+	for _, dsName := range mainDatasets {
+		d, err := e.Data(dsName)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			Row{Experiment: "fig9", Dataset: d.DS.Name, Param: "-", Algo: "NL",
+				Space: d.NL.SpaceBytes(), Build: d.NLBuild},
+			Row{Experiment: "fig9", Dataset: d.DS.Name, Param: "-", Algo: "NLRNL",
+				Space: d.NLRNL.SpaceBytes(), Build: d.NLRNLBuild},
+		)
+	}
+	return &Report{ID: "fig9", Title: "index space and construction", Rows: rows}, nil
+}
+
+// Format renders a report's rows as an aligned text table (plus the
+// narrative text, if any).
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if r.Text != "" {
+		b.WriteString(r.Text)
+	}
+	if len(r.Rows) == 0 {
+		return b.String()
+	}
+	if r.Rows[0].Space > 0 {
+		fmt.Fprintf(&b, "%-16s %-8s %14s %14s\n", "dataset", "index", "space", "build")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-16s %-8s %14s %14s\n",
+				row.Dataset, row.Algo, formatBytes(row.Space), row.Build.Round(10e3))
+		}
+		return b.String()
+	}
+	// Group latency rows by dataset for figure-like blocks.
+	datasets := []string{}
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		if !seen[row.Dataset] {
+			seen[row.Dataset] = true
+			datasets = append(datasets, row.Dataset)
+		}
+	}
+	sort.Strings(datasets)
+	for _, ds := range datasets {
+		fmt.Fprintf(&b, "-- %s --\n", ds)
+		fmt.Fprintf(&b, "%-20s %3s %3s %14s %14s %10s\n", "algorithm", "prm", "val", "mean", "p95", "exhausted")
+		for _, row := range r.Rows {
+			if row.Dataset != ds {
+				continue
+			}
+			fmt.Fprintf(&b, "%-20s %3s %3d %14s %14s %10d\n",
+				row.Algo, row.Param, row.Value,
+				row.Latency.Mean.Round(1000), row.Latency.P95.Round(1000), row.Exhausted)
+		}
+	}
+	return b.String()
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Hops returns the pairwise hop distances of a group's members (used by
+// case-study rendering and tests).
+func Hops(g graph.Topology, members []graph.Vertex) []int {
+	tr := graph.NewTraverser(g.NumVertices())
+	var out []int
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			out = append(out, tr.Distance(g, members[i], members[j], -1))
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package gen synthesizes attributed social networks that stand in for
+// the real datasets of the KTG paper (Gowalla, Brightkite, Flickr, DBLP,
+// Twitter — all from SNAP — plus the 1M-node DBLP variant).
+//
+// The evaluation in the paper depends on three dataset properties: the
+// degree distribution (heavy-tailed), the hop-distance distribution
+// (small-world, peaking around 4–6 hops), and keyword selectivity
+// (Zipfian term frequencies). The generator reproduces all three with a
+// preferential-attachment process augmented by triadic closure, and a
+// Zipf keyword sampler. Every preset is deterministic for a fixed seed.
+//
+// See DESIGN.md §4 for the substitution rationale.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ktg/internal/graph"
+	"ktg/internal/keywords"
+)
+
+// Config describes a synthetic attributed social network.
+type Config struct {
+	// Name labels the dataset in reports.
+	Name string
+	// N is the number of vertices.
+	N int
+	// AvgDegree is the target average degree (2|E|/|V|).
+	AvgDegree float64
+	// TriadicProb is the probability that a new edge closes a triangle
+	// instead of following preferential attachment. Higher values give
+	// higher clustering (social networks ≈ 0.3–0.6).
+	TriadicProb float64
+	// VocabSize is the number of distinct keywords.
+	VocabSize int
+	// KeywordsPerVertex is the mean size of a vertex's keyword set.
+	KeywordsPerVertex float64
+	// ZipfS is the Zipf exponent for keyword popularity (must be > 1).
+	ZipfS float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("gen: N must be positive, got %d", c.N)
+	case c.AvgDegree < 0:
+		return fmt.Errorf("gen: AvgDegree must be non-negative, got %v", c.AvgDegree)
+	case c.TriadicProb < 0 || c.TriadicProb > 1:
+		return fmt.Errorf("gen: TriadicProb must be in [0,1], got %v", c.TriadicProb)
+	case c.VocabSize <= 0:
+		return fmt.Errorf("gen: VocabSize must be positive, got %d", c.VocabSize)
+	case c.KeywordsPerVertex < 0:
+		return fmt.Errorf("gen: KeywordsPerVertex must be non-negative, got %v", c.KeywordsPerVertex)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("gen: ZipfS must exceed 1, got %v", c.ZipfS)
+	}
+	return nil
+}
+
+// Dataset is a generated attributed social network.
+type Dataset struct {
+	Name   string
+	Graph  *graph.Graph
+	Attrs  *keywords.Attributes
+	Config Config
+}
+
+// Generate synthesizes a dataset from the configuration.
+func Generate(c Config) (*Dataset, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+	g := generateGraph(c, r)
+	attrs := generateAttributes(c, r)
+	return &Dataset{Name: c.Name, Graph: g, Attrs: attrs, Config: c}, nil
+}
+
+// generateGraph grows a preferential-attachment graph with triadic
+// closure. Each arriving vertex attaches m ≈ AvgDegree/2 edges; an edge
+// either copies a random endpoint from the running endpoint list
+// (preferential attachment: probability of picking v ∝ deg(v)) or, with
+// TriadicProb, connects to a random neighbor of the previously chosen
+// target (closing a triangle).
+func generateGraph(c Config, r *rand.Rand) *graph.Graph {
+	n := c.N
+	m := int(c.AvgDegree/2 + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	if m >= n {
+		m = n - 1
+	}
+	b := graph.NewBuilder(n)
+	adj := make([][]graph.Vertex, n) // forward view used for triadic closure
+
+	addEdge := func(u, v graph.Vertex) {
+		b.AddEdge(u, v)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+
+	// Endpoint list for degree-proportional sampling.
+	endpoints := make([]graph.Vertex, 0, 2*n*m)
+
+	// Seed with a small connected core.
+	core := m + 1
+	if core > n {
+		core = n
+	}
+	for i := 1; i < core; i++ {
+		addEdge(graph.Vertex(i), graph.Vertex(r.Intn(i)))
+	}
+	for u := 0; u < core; u++ {
+		for range adj[u] {
+			endpoints = append(endpoints, graph.Vertex(u))
+		}
+	}
+
+	for v := core; v < n; v++ {
+		var prev graph.Vertex
+		hasPrev := false
+		for e := 0; e < m; e++ {
+			var target graph.Vertex
+			if hasPrev && len(adj[prev]) > 0 && r.Float64() < c.TriadicProb {
+				target = adj[prev][r.Intn(len(adj[prev]))]
+			} else if len(endpoints) > 0 {
+				target = endpoints[r.Intn(len(endpoints))]
+			} else {
+				target = graph.Vertex(r.Intn(v))
+			}
+			if target == graph.Vertex(v) {
+				continue
+			}
+			addEdge(graph.Vertex(v), target)
+			endpoints = append(endpoints, graph.Vertex(v), target)
+			prev, hasPrev = target, true
+		}
+	}
+	return b.Build()
+}
+
+// generateAttributes draws each vertex's keyword-set size from a
+// geometric-like distribution with the configured mean and fills it with
+// Zipf-distributed keyword ids.
+func generateAttributes(c Config, r *rand.Rand) *keywords.Attributes {
+	attrs := keywords.NewAttributes(c.N, nil)
+	vocab := attrs.Vocabulary()
+	for i := 0; i < c.VocabSize; i++ {
+		vocab.Intern(fmt.Sprintf("kw%04d", i))
+	}
+	if c.KeywordsPerVertex == 0 {
+		return attrs
+	}
+	zipf := rand.NewZipf(r, c.ZipfS, 1, uint64(c.VocabSize-1))
+	for v := 0; v < c.N; v++ {
+		size := sampleCount(r, c.KeywordsPerVertex)
+		if size == 0 {
+			continue
+		}
+		// Sample until `size` distinct keywords are drawn; popular
+		// Zipf ids repeat, so cap the attempts to avoid stalling when
+		// size approaches the effective vocabulary.
+		ids := make([]keywords.ID, 0, size)
+		seen := make(map[keywords.ID]bool, size)
+		for attempts := 0; len(ids) < size && attempts < 20*size; attempts++ {
+			id := keywords.ID(zipf.Uint64())
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		attrs.AssignIDs(graph.Vertex(v), ids...)
+	}
+	return attrs
+}
+
+// sampleCount draws a non-negative integer with the given mean, skewed
+// like real profile sizes (most vertices near the mean, a long tail).
+func sampleCount(r *rand.Rand, mean float64) int {
+	// Exponential with the target mean, rounded; clamp the tail.
+	x := r.ExpFloat64() * mean
+	if x > mean*6 {
+		x = mean * 6
+	}
+	return int(x + 0.5)
+}
+
+// KeywordPopularity returns how many vertices carry each keyword id,
+// sorted descending. Useful to verify Zipfian shape and to pick query
+// keywords in workloads.
+func (d *Dataset) KeywordPopularity() []int {
+	counts := make([]int, d.Attrs.Vocabulary().Size())
+	for v := 0; v < d.Attrs.NumVertices(); v++ {
+		for _, id := range d.Attrs.Keywords(graph.Vertex(v)) {
+			counts[id]++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return counts
+}

@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ktg/internal/graph"
+)
+
+func TestValidate(t *testing.T) {
+	good := Config{N: 10, AvgDegree: 4, TriadicProb: 0.5, VocabSize: 10, KeywordsPerVertex: 3, ZipfS: 1.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{N: 0, VocabSize: 1, ZipfS: 1.5},
+		{N: 5, AvgDegree: -1, VocabSize: 1, ZipfS: 1.5},
+		{N: 5, TriadicProb: 1.5, VocabSize: 1, ZipfS: 1.5},
+		{N: 5, VocabSize: 0, ZipfS: 1.5},
+		{N: 5, VocabSize: 1, KeywordsPerVertex: -2, ZipfS: 1.5},
+		{N: 5, VocabSize: 1, ZipfS: 1.0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := Config{N: 500, AvgDegree: 8, TriadicProb: 0.4, VocabSize: 100,
+		KeywordsPerVertex: 5, ZipfS: 1.4, Seed: 7}
+	a, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("same seed produced different edge counts: %d vs %d",
+			a.Graph.NumEdges(), b.Graph.NumEdges())
+	}
+	for v := 0; v < c.N; v++ {
+		an, bn := a.Graph.Neighbors(graph.Vertex(v)), b.Graph.Neighbors(graph.Vertex(v))
+		if len(an) != len(bn) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("vertex %d neighbors differ", v)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	c := Config{N: 300, AvgDegree: 6, TriadicProb: 0.4, VocabSize: 50,
+		KeywordsPerVertex: 4, ZipfS: 1.4, Seed: 1}
+	a, _ := Generate(c)
+	c.Seed = 2
+	b, _ := Generate(c)
+	same := true
+	for v := 0; v < c.N && same; v++ {
+		an, bn := a.Graph.Neighbors(graph.Vertex(v)), b.Graph.Neighbors(graph.Vertex(v))
+		if len(an) != len(bn) {
+			same = false
+			break
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGeneratedGraphProperties(t *testing.T) {
+	c := Config{N: 2000, AvgDegree: 10, TriadicProb: 0.45, VocabSize: 300,
+		KeywordsPerVertex: 8, ZipfS: 1.4, Seed: 11}
+	d, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	if err := graph.Validate(g); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if got := g.AverageDegree(); math.Abs(got-c.AvgDegree) > c.AvgDegree*0.35 {
+		t.Errorf("average degree %v far from target %v", got, c.AvgDegree)
+	}
+	// Preferential attachment must produce hubs.
+	if g.MaxDegree() < 4*int(c.AvgDegree) {
+		t.Errorf("MaxDegree = %d, expected a heavy tail (> %d)", g.MaxDegree(), 4*int(c.AvgDegree))
+	}
+	// The graph should be essentially connected (one giant component).
+	labels, count := graph.Components(g)
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if maxSize < c.N*9/10 {
+		t.Errorf("giant component has %d of %d vertices", maxSize, c.N)
+	}
+	// Small world: average distance from vertex 0 should be modest.
+	tr := graph.NewTraverser(c.N)
+	if ecc := tr.Eccentricity(g, 0); ecc > 12 {
+		t.Errorf("eccentricity(0) = %d, expected small-world (<= 12)", ecc)
+	}
+}
+
+func TestGeneratedKeywordsZipfian(t *testing.T) {
+	c := Config{N: 3000, AvgDegree: 6, TriadicProb: 0.3, VocabSize: 200,
+		KeywordsPerVertex: 8, ZipfS: 1.4, Seed: 3}
+	d, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Attrs.AverageKeywordsPerVertex(); math.Abs(got-8) > 2.5 {
+		t.Errorf("average keywords per vertex = %v, want ≈ 8", got)
+	}
+	pop := d.KeywordPopularity()
+	if pop[0] < 5*pop[len(pop)/4] {
+		t.Errorf("keyword popularity not heavy-tailed: top=%d quartile=%d", pop[0], pop[len(pop)/4])
+	}
+}
+
+func TestGenerateTinyGraph(t *testing.T) {
+	d, err := Generate(Config{N: 2, AvgDegree: 1, VocabSize: 2,
+		KeywordsPerVertex: 1, ZipfS: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph.NumVertices() != 2 {
+		t.Fatalf("NumVertices = %d", d.Graph.NumVertices())
+	}
+	if err := graph.Validate(d.Graph); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateNoKeywords(t *testing.T) {
+	d, err := Generate(Config{N: 10, AvgDegree: 2, VocabSize: 5, ZipfS: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Attrs.AverageKeywordsPerVertex(); got != 0 {
+		t.Errorf("expected no keywords, got average %v", got)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := PresetNames()
+	want := []string{"brightkite", "dblp", "dblp1m", "flickr", "gowalla", "twitter"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("PresetNames = %v, want %v", names, want)
+	}
+	for _, n := range names {
+		c, err := Preset(n, 0.01)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", n, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Preset(%s) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestPresetScaling(t *testing.T) {
+	full, err := Preset("gowalla", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.N != 67320 {
+		t.Errorf("full gowalla N = %d, want 67320 (paper size)", full.N)
+	}
+	half, err := Preset("gowalla", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.N != 33660 {
+		t.Errorf("half gowalla N = %d, want 33660", half.N)
+	}
+	if half.AvgDegree != full.AvgDegree {
+		t.Error("scaling changed average degree")
+	}
+	if !strings.Contains(half.Name, "0.5") {
+		t.Errorf("scaled name %q should carry the scale", half.Name)
+	}
+}
+
+func TestPresetErrors(t *testing.T) {
+	if _, err := Preset("nope", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := Preset("dblp", 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Preset("dblp", 1.5); err == nil {
+		t.Error("super-unit scale accepted")
+	}
+}
+
+func TestGeneratePresetSmoke(t *testing.T) {
+	d, err := GeneratePreset("brightkite", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph.NumVertices() < 1000 {
+		t.Errorf("scaled brightkite too small: %d", d.Graph.NumVertices())
+	}
+	if err := graph.Validate(d.Graph); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"ktg/internal/graph"
+)
+
+func modelConfig() Config {
+	return Config{
+		N: 2000, AvgDegree: 8, TriadicProb: 0.45,
+		VocabSize: 200, KeywordsPerVertex: 6, ZipfS: 1.4, Seed: 21,
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Model
+	}{
+		{"social", ModelSocial},
+		{"", ModelSocial},
+		{"erdos-renyi", ModelErdosRenyi},
+		{"er", ModelErdosRenyi},
+		{"small-world", ModelSmallWorld},
+		{"ws", ModelSmallWorld},
+	} {
+		got, err := ModelByName(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ModelByName(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ModelByName("ring"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if ModelSocial.String() != "social" || ModelErdosRenyi.String() != "erdos-renyi" {
+		t.Error("model String broken")
+	}
+}
+
+func TestGenerateWithModelValidates(t *testing.T) {
+	if _, err := GenerateWithModel(Config{}, ModelSocial); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := GenerateWithModel(modelConfig(), Model(99)); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestModelsHitTargetDensity(t *testing.T) {
+	c := modelConfig()
+	for _, m := range []Model{ModelSocial, ModelErdosRenyi, ModelSmallWorld} {
+		d, err := GenerateWithModel(c, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := graph.Validate(d.Graph); err != nil {
+			t.Fatalf("%v: invalid graph: %v", m, err)
+		}
+		got := d.Graph.AverageDegree()
+		if math.Abs(got-c.AvgDegree) > c.AvgDegree*0.35 {
+			t.Errorf("%v: average degree %v, want ≈ %v", m, got, c.AvgDegree)
+		}
+	}
+}
+
+func TestModelsHaveDistinctShapes(t *testing.T) {
+	c := modelConfig()
+	social, err := GenerateWithModel(c, ModelSocial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := GenerateWithModel(c, ModelErdosRenyi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := GenerateWithModel(c, ModelSmallWorld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degree tails: preferential attachment must produce far bigger
+	// hubs than either ER or WS.
+	if social.Graph.MaxDegree() < 2*er.Graph.MaxDegree() {
+		t.Errorf("social max degree %d not heavy-tailed vs ER %d",
+			social.Graph.MaxDegree(), er.Graph.MaxDegree())
+	}
+	if social.Graph.MaxDegree() < 2*ws.Graph.MaxDegree() {
+		t.Errorf("social max degree %d not heavy-tailed vs WS %d",
+			social.Graph.MaxDegree(), ws.Graph.MaxDegree())
+	}
+	// Clustering: triadic closure and ring lattices cluster; ER does not.
+	socialCC := graph.ClusteringCoefficient(social.Graph)
+	erCC := graph.ClusteringCoefficient(er.Graph)
+	wsCC := graph.ClusteringCoefficient(ws.Graph)
+	if socialCC < 3*erCC {
+		t.Errorf("social clustering %v not >> ER clustering %v", socialCC, erCC)
+	}
+	if wsCC < 3*erCC {
+		t.Errorf("WS clustering %v not >> ER clustering %v", wsCC, erCC)
+	}
+}
+
+func TestModelKeywordsIdenticalAcrossModels(t *testing.T) {
+	c := modelConfig()
+	a, err := GenerateWithModel(c, ModelErdosRenyi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWithModel(c, ModelErdosRenyi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 50; v++ {
+		ka, kb := a.Attrs.Keywords(graph.Vertex(v)), b.Attrs.Keywords(graph.Vertex(v))
+		if len(ka) != len(kb) {
+			t.Fatal("same seed produced different keyword sets")
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package graph provides the social-network substrate for the KTG
+// library: a compact immutable CSR graph, a mutable adjacency graph for
+// dynamic scenarios, breadth-first traversals bounded by hop count, basic
+// statistics, and edge-list IO.
+//
+// Vertices are dense uint32 identifiers in [0, NumVertices). All graphs
+// are undirected and simple (no self-loops, no parallel edges); builders
+// normalize their input accordingly.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex identifies a vertex. Identifiers are dense: every value in
+// [0, NumVertices) is a valid vertex.
+type Vertex = uint32
+
+// Topology is the read interface shared by the immutable CSR Graph and
+// the Mutable adjacency graph. Algorithms and index builders accept a
+// Topology so they work with either representation.
+type Topology interface {
+	// NumVertices returns the number of vertices.
+	NumVertices() int
+	// Degree returns the number of neighbors of v.
+	Degree(v Vertex) int
+	// Neighbors returns the sorted neighbor list of v. The returned
+	// slice must not be modified and is only valid until the topology
+	// is mutated.
+	Neighbors(v Vertex) []Vertex
+}
+
+// Graph is an immutable undirected graph in compressed sparse row form.
+type Graph struct {
+	offsets []int64  // len = n+1
+	adj     []Vertex // concatenated sorted neighbor lists
+}
+
+var _ Topology = (*Graph)(nil)
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v Vertex) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v Vertex) []Vertex {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge. It runs in O(log deg(u)).
+func (g *Graph) HasEdge(u, v Vertex) bool {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// Edges calls fn for every undirected edge {u, v} with u < v. If fn
+// returns false, iteration stops.
+func (g *Graph) Edges(fn func(u, v Vertex) bool) {
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(Vertex(u)) {
+			if v > Vertex(u) {
+				if !fn(Vertex(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(Vertex(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AverageDegree returns 2|E| / |V|, or 0 for an empty graph.
+func (g *Graph) AverageDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(g.adj)) / float64(n)
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are dropped during Build.
+type Builder struct {
+	n     int
+	pairs [][2]Vertex
+}
+
+// NewBuilder returns a Builder for a graph with n vertices. More vertices
+// may be implied later by AddEdge; the final vertex count is the maximum
+// of n and 1 + the largest endpoint seen.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+func (b *Builder) AddEdge(u, v Vertex) {
+	if u == v {
+		return
+	}
+	if int(u) >= b.n {
+		b.n = int(u) + 1
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.pairs = append(b.pairs, [2]Vertex{u, v})
+}
+
+// NumPending returns the number of edges recorded so far (before
+// deduplication).
+func (b *Builder) NumPending() int { return len(b.pairs) }
+
+// Build produces the immutable CSR graph and resets nothing; the builder
+// may continue to accumulate edges for a later Build.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.pairs, func(i, j int) bool {
+		if b.pairs[i][0] != b.pairs[j][0] {
+			return b.pairs[i][0] < b.pairs[j][0]
+		}
+		return b.pairs[i][1] < b.pairs[j][1]
+	})
+	// Deduplicate in place.
+	uniq := b.pairs[:0]
+	for i, p := range b.pairs {
+		if i == 0 || p != b.pairs[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	b.pairs = uniq
+
+	deg := make([]int64, b.n+1)
+	for _, p := range b.pairs {
+		deg[p[0]+1]++
+		deg[p[1]+1]++
+	}
+	offsets := make([]int64, b.n+1)
+	for i := 1; i <= b.n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]Vertex, offsets[b.n])
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, p := range b.pairs {
+		adj[cursor[p[0]]] = p[1]
+		cursor[p[0]]++
+		adj[cursor[p[1]]] = p[0]
+		cursor[p[1]]++
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	// Neighbor lists are emitted in edge-sorted order per endpoint for
+	// the first endpoint but interleaved for the second; sort each list.
+	for v := 0; v < b.n; v++ {
+		ns := adj[offsets[v]:offsets[v+1]]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	return g
+}
+
+// FromEdges is a convenience that builds a graph with n vertices from an
+// explicit edge list.
+func FromEdges(n int, edges [][2]Vertex) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Mutable is an undirected graph backed by per-vertex sorted adjacency
+// slices. It supports edge insertion and removal and implements Topology,
+// so indexes can be maintained against it incrementally.
+type Mutable struct {
+	adj   [][]Vertex
+	edges int
+}
+
+var _ Topology = (*Mutable)(nil)
+
+// NewMutable returns an empty Mutable graph with n vertices.
+func NewMutable(n int) *Mutable {
+	return &Mutable{adj: make([][]Vertex, n)}
+}
+
+// MutableFrom copies any Topology into a Mutable graph.
+func MutableFrom(t Topology) *Mutable {
+	n := t.NumVertices()
+	m := NewMutable(n)
+	for v := 0; v < n; v++ {
+		ns := t.Neighbors(Vertex(v))
+		m.adj[v] = append([]Vertex(nil), ns...)
+		m.edges += len(ns)
+	}
+	m.edges /= 2
+	return m
+}
+
+// NumVertices returns the number of vertices.
+func (m *Mutable) NumVertices() int { return len(m.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (m *Mutable) NumEdges() int { return m.edges }
+
+// Degree returns the number of neighbors of v.
+func (m *Mutable) Degree(v Vertex) int { return len(m.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The slice must not be
+// modified and is invalidated by AddEdge/RemoveEdge.
+func (m *Mutable) Neighbors(v Vertex) []Vertex { return m.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge.
+func (m *Mutable) HasEdge(u, v Vertex) bool {
+	ns := m.adj[u]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// AddEdge inserts the undirected edge {u, v}. It reports whether the edge
+// was newly inserted (false for duplicates and self-loops).
+func (m *Mutable) AddEdge(u, v Vertex) bool {
+	if u == v || int(u) >= len(m.adj) || int(v) >= len(m.adj) {
+		return false
+	}
+	if !m.insertHalf(u, v) {
+		return false
+	}
+	m.insertHalf(v, u)
+	m.edges++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u, v}. It reports whether the
+// edge existed.
+func (m *Mutable) RemoveEdge(u, v Vertex) bool {
+	if u == v || int(u) >= len(m.adj) || int(v) >= len(m.adj) {
+		return false
+	}
+	if !m.removeHalf(u, v) {
+		return false
+	}
+	m.removeHalf(v, u)
+	m.edges--
+	return true
+}
+
+func (m *Mutable) insertHalf(u, v Vertex) bool {
+	ns := m.adj[u]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	if i < len(ns) && ns[i] == v {
+		return false
+	}
+	ns = append(ns, 0)
+	copy(ns[i+1:], ns[i:])
+	ns[i] = v
+	m.adj[u] = ns
+	return true
+}
+
+func (m *Mutable) removeHalf(u, v Vertex) bool {
+	ns := m.adj[u]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	if i >= len(ns) || ns[i] != v {
+		return false
+	}
+	m.adj[u] = append(ns[:i], ns[i+1:]...)
+	return true
+}
+
+// Freeze converts the Mutable graph into an immutable CSR Graph.
+func (m *Mutable) Freeze() *Graph {
+	b := NewBuilder(len(m.adj))
+	for u, ns := range m.adj {
+		for _, v := range ns {
+			if v > Vertex(u) {
+				b.AddEdge(Vertex(u), v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Validate checks structural invariants of a Topology: sorted neighbor
+// lists, no self-loops, no duplicates, and symmetric edges. It is used by
+// tests and by loaders of untrusted input.
+func Validate(t Topology) error {
+	n := t.NumVertices()
+	for u := 0; u < n; u++ {
+		ns := t.Neighbors(Vertex(u))
+		for i, v := range ns {
+			if int(v) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, v)
+			}
+			if v == Vertex(u) {
+				return fmt.Errorf("graph: self-loop at vertex %d", u)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("graph: neighbors of %d not strictly sorted at position %d", u, i)
+			}
+			if !contains(t.Neighbors(v), Vertex(u)) {
+				return fmt.Errorf("graph: edge {%d,%d} not symmetric", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(ns []Vertex, v Vertex) bool {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}

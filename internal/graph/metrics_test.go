@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrianglesKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *Graph
+		want  int64
+		wedge float64 // expected clustering coefficient
+	}{
+		{
+			name:  "triangle",
+			g:     FromEdges(3, [][2]Vertex{{0, 1}, {1, 2}, {0, 2}}),
+			want:  1,
+			wedge: 1.0,
+		},
+		{
+			name:  "path",
+			g:     FromEdges(4, [][2]Vertex{{0, 1}, {1, 2}, {2, 3}}),
+			want:  0,
+			wedge: 0,
+		},
+		{
+			name: "k4",
+			g: FromEdges(4, [][2]Vertex{
+				{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}),
+			want:  4,
+			wedge: 1.0,
+		},
+		{
+			name:  "empty",
+			g:     FromEdges(3, nil),
+			want:  0,
+			wedge: 0,
+		},
+		{
+			// Two triangles sharing the edge {1,2}.
+			name: "bowtie-ish",
+			g: FromEdges(4, [][2]Vertex{
+				{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}),
+			want: 2,
+			// wedges: deg 2,3,3,2 → 1+3+3+1 = 8; 3*2/8 = 0.75
+			wedge: 0.75,
+		},
+	}
+	for _, c := range cases {
+		if got := Triangles(c.g); got != c.want {
+			t.Errorf("%s: Triangles = %d, want %d", c.name, got, c.want)
+		}
+		if got := ClusteringCoefficient(c.g); got != c.wedge {
+			t.Errorf("%s: ClusteringCoefficient = %v, want %v", c.name, got, c.wedge)
+		}
+	}
+}
+
+// trianglesReference counts triangles naively in O(n^3).
+func trianglesReference(g *Graph) int64 {
+	n := g.NumVertices()
+	var count int64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(Vertex(u), Vertex(v)) {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if g.HasEdge(Vertex(u), Vertex(w)) && g.HasEdge(Vertex(v), Vertex(w)) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestQuickTrianglesMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, _ := randomGraph(r, 2+r.Intn(25), 0.3)
+		return Triangles(g) == trianglesReference(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := FromEdges(5, [][2]Vertex{{0, 1}, {0, 2}, {0, 3}})
+	hist := DegreeHistogram(g)
+	// Degrees: 3,1,1,1,0 → hist[0]=1 hist[1]=3 hist[3]=1
+	if hist[0] != 1 || hist[1] != 3 || hist[2] != 0 || hist[3] != 1 {
+		t.Fatalf("DegreeHistogram = %v", hist)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	g := paperGraph()
+	m := Measure(g, 12)
+	if m.Vertices != 12 || m.Edges != g.NumEdges() {
+		t.Fatalf("Measure sizes wrong: %+v", m)
+	}
+	if m.Components != 1 || m.GiantComponent != 12 {
+		t.Errorf("components: %+v", m)
+	}
+	if m.Triangles != Triangles(g) {
+		t.Error("Triangles inconsistent")
+	}
+	if m.EffDiameter <= 0 || m.AvgDistance <= 0 {
+		t.Errorf("distance stats missing: %+v", m)
+	}
+	out := m.String()
+	for _, want := range []string{"vertices:", "clustering:", "avg distance:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+}
+
+func TestMeasureSkipsDistances(t *testing.T) {
+	g := lineGraph(4)
+	m := Measure(g, 0)
+	if m.EffDiameter != 0 || m.AvgDistance != 0 {
+		t.Error("distance stats computed despite 0 samples")
+	}
+	if !strings.Contains(m.String(), "vertices:") {
+		t.Error("String broken")
+	}
+}
+
+func TestMeasureEmptyGraph(t *testing.T) {
+	m := Measure(FromEdges(0, nil), 4)
+	if m.Vertices != 0 || m.Edges != 0 || m.AvgDegree != 0 {
+		t.Fatalf("empty metrics: %+v", m)
+	}
+}

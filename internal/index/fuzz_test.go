@@ -1,0 +1,64 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"ktg/internal/graph"
+)
+
+// FuzzReadNLRNL hardens the index loader: corrupted snapshots must be
+// rejected or at least never panic and never violate memory safety on
+// subsequent queries.
+func FuzzReadNLRNL(f *testing.F) {
+	g := fixture()
+	x, err := BuildNLRNL(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("KTGRN\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := ReadNLRNL(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		// A snapshot that passes loading must answer queries without
+		// panicking (answers may be wrong for adversarial inputs — the
+		// format has length/range checks, not a checksum).
+		for u := 0; u < g.NumVertices(); u++ {
+			for v := 0; v < g.NumVertices(); v++ {
+				loaded.Within(graph.Vertex(u), graph.Vertex(v), 2)
+			}
+		}
+	})
+}
+
+// FuzzReadNL mirrors FuzzReadNLRNL for the NL format.
+func FuzzReadNL(f *testing.F) {
+	g := fixture()
+	nl, err := BuildNL(g, NLOptions{H: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("KTGNL\x01junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := ReadNL(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		for u := 0; u < g.NumVertices(); u++ {
+			loaded.Within(graph.Vertex(u), graph.Vertex((u+3)%12), 3)
+		}
+	})
+}

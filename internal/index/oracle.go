@@ -1,0 +1,46 @@
+// Package index implements the social-distance oracles of the KTG paper:
+// the index-free BFS baseline, the NL index (h-hop neighbor lists,
+// Section V-A / Algorithm 2), and the NLRNL index ((c-1)-hop neighbor
+// lists plus reverse c-hop neighbor lists, Section V-B), including the
+// paper's space-saving id-ordering trick and dynamic edge maintenance.
+//
+// All oracles answer the single question the KTG algorithms ask during
+// k-line filtering: is the hop distance between two vertices at most k?
+package index
+
+import (
+	"ktg/internal/graph"
+)
+
+// Oracle answers bounded social-distance queries.
+//
+// Implementations may or may not be safe for concurrent use; see each
+// type's documentation.
+type Oracle interface {
+	// Within reports whether the hop distance between u and v is at
+	// most k. Within(u, u, k) is true for every k >= 0.
+	Within(u, v graph.Vertex, k int) bool
+	// Name identifies the oracle in reports ("BFS", "NL", "NLRNL").
+	Name() string
+}
+
+// BFSOracle is the index-free baseline: every query runs a breadth-first
+// search bounded at k hops. It allocates its traversal state once, so a
+// single BFSOracle must not be used from multiple goroutines.
+type BFSOracle struct {
+	g  graph.Topology
+	tr *graph.Traverser
+}
+
+// NewBFSOracle returns an index-free oracle over g.
+func NewBFSOracle(g graph.Topology) *BFSOracle {
+	return &BFSOracle{g: g, tr: graph.NewTraverser(g.NumVertices())}
+}
+
+// Within reports whether dist(u, v) <= k via bounded BFS.
+func (o *BFSOracle) Within(u, v graph.Vertex, k int) bool {
+	return o.tr.Within(o.g, u, v, k)
+}
+
+// Name returns "BFS".
+func (o *BFSOracle) Name() string { return "BFS" }

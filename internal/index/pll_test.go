@@ -1,0 +1,144 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ktg/internal/graph"
+)
+
+func TestPLLWithinFixture(t *testing.T) {
+	g := fixture()
+	x, err := BuildPLL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracleExact(t, g, x, 8)
+}
+
+func TestPLLDistanceFixture(t *testing.T) {
+	g := fixture()
+	x, err := BuildPLL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	tr := graph.NewTraverser(n)
+	dist := make([]int32, n)
+	for u := 0; u < n; u++ {
+		tr.AllDistances(g, graph.Vertex(u), dist)
+		for v := 0; v < n; v++ {
+			if got := x.Distance(graph.Vertex(u), graph.Vertex(v)); got != int(dist[v]) {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", u, v, got, dist[v])
+			}
+		}
+	}
+}
+
+func TestPLLDisconnectedAndEdgeless(t *testing.T) {
+	g := graph.FromEdges(6, [][2]graph.Vertex{{0, 1}, {1, 2}, {4, 5}})
+	x, err := BuildPLL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracleExact(t, g, x, 6)
+	if x.Distance(0, 4) != -1 {
+		t.Error("Distance across components should be -1")
+	}
+	empty := graph.FromEdges(3, nil)
+	x2, err := BuildPLL(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracleExact(t, empty, x2, 3)
+}
+
+func TestPLLPruningShortensLabels(t *testing.T) {
+	// On a star graph, labeling the hub first must reduce every leaf's
+	// label to {hub, itself}: 2 entries per leaf, 1 for the hub.
+	const n = 50
+	edges := make([][2]graph.Vertex, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]graph.Vertex{0, graph.Vertex(i)})
+	}
+	g := graph.FromEdges(n, edges)
+	x, err := BuildPLL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := x.Entries(), int64(1+2*(n-1)); got != want {
+		t.Errorf("Entries = %d, want %d (pruning failed)", got, want)
+	}
+	if avg := x.AverageLabelSize(); avg > 2.0 {
+		t.Errorf("AverageLabelSize = %v, want <= 2 on a star", avg)
+	}
+}
+
+func TestPLLSmallerThanAllPairs(t *testing.T) {
+	// On a well-connected social-style graph, PLL labels must be far
+	// smaller than the ~n²/2 pairs NLRNL materializes.
+	r := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder(400)
+	for i := 1; i < 400; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex(r.Intn(i)))
+		b.AddEdge(graph.Vertex(i), graph.Vertex(r.Intn(i)))
+	}
+	g := b.Build()
+	pll, err := BuildPLL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlrnl, err := BuildNLRNL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pll.Entries() >= nlrnl.Entries() {
+		t.Errorf("PLL entries %d not smaller than NLRNL entries %d",
+			pll.Entries(), nlrnl.Entries())
+	}
+	if pll.SpaceBytes() <= 0 {
+		t.Error("SpaceBytes not positive")
+	}
+}
+
+func TestQuickPLLMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomTopology(r)
+		x, err := BuildPLL(g)
+		if err != nil {
+			return false
+		}
+		return oracleAgreesWithBFS(g, x, 7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPLLExactDistances(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomTopology(r)
+		x, err := BuildPLL(g)
+		if err != nil {
+			return false
+		}
+		n := g.NumVertices()
+		tr := graph.NewTraverser(n)
+		dist := make([]int32, n)
+		for u := 0; u < n; u++ {
+			tr.AllDistances(g, graph.Vertex(u), dist)
+			for v := 0; v < n; v++ {
+				if x.Distance(graph.Vertex(u), graph.Vertex(v)) != int(dist[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ktg/internal/graph"
+)
+
+// Binary layouts. Both formats begin with a distinct magic string and a
+// vertex count; lists are written as uint32 lengths followed by uint32
+// vertex ids. Little endian throughout.
+const (
+	nlMagic    = "KTGNL\x01"
+	nlrnlMagic = "KTGRN\x01"
+)
+
+type countingWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (cw *countingWriter) u32(x uint32) {
+	if cw.err != nil {
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], x)
+	_, cw.err = cw.w.Write(buf[:])
+}
+
+func (cw *countingWriter) list(l []graph.Vertex) {
+	cw.u32(uint32(len(l)))
+	for _, v := range l {
+		cw.u32(v)
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader) u32() uint32 {
+	if rd.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(rd.r, buf[:]); err != nil {
+		rd.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (rd *reader) list(maxVertex uint32) []graph.Vertex {
+	n := rd.u32()
+	if rd.err != nil {
+		return nil
+	}
+	if n > maxVertex+1 {
+		rd.err = fmt.Errorf("index: implausible list length %d", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	l := make([]graph.Vertex, n)
+	for i := range l {
+		v := rd.u32()
+		if rd.err != nil {
+			return nil
+		}
+		if v > maxVertex {
+			rd.err = fmt.Errorf("index: vertex id %d out of range", v)
+			return nil
+		}
+		l[i] = v
+	}
+	return l
+}
+
+// Save serializes the NL index (lists and h; the graph itself is not
+// embedded — supply it again at load time).
+func (nl *NL) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(nlMagic); err != nil {
+		return err
+	}
+	cw := &countingWriter{w: bw}
+	cw.u32(uint32(len(nl.levels)))
+	cw.u32(uint32(nl.h))
+	for _, lists := range nl.levels {
+		cw.u32(uint32(len(lists)))
+		for _, l := range lists {
+			cw.list(l)
+		}
+	}
+	if cw.err != nil {
+		return fmt.Errorf("index: writing NL: %w", cw.err)
+	}
+	return bw.Flush()
+}
+
+// ReadNL loads an NL index written by Save. g must be the topology the
+// index was built from (it is consulted for expansions beyond h).
+func ReadNL(r io.Reader, g graph.Topology) (*NL, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, nlMagic); err != nil {
+		return nil, err
+	}
+	rd := &reader{r: br}
+	n := rd.u32()
+	h := rd.u32()
+	if rd.err != nil {
+		return nil, fmt.Errorf("index: reading NL header: %w", rd.err)
+	}
+	if int(n) != g.NumVertices() {
+		return nil, fmt.Errorf("index: NL built for %d vertices, graph has %d", n, g.NumVertices())
+	}
+	nl := &NL{
+		g:      g,
+		h:      int(h),
+		levels: make([][][]graph.Vertex, n),
+		stamp:  make([]uint32, n),
+	}
+	for v := uint32(0); v < n; v++ {
+		numLevels := rd.u32()
+		if rd.err != nil {
+			return nil, fmt.Errorf("index: reading NL vertex %d: %w", v, rd.err)
+		}
+		if numLevels > 1024 {
+			return nil, fmt.Errorf("index: implausible level count %d", numLevels)
+		}
+		lists := make([][]graph.Vertex, numLevels)
+		for d := range lists {
+			lists[d] = rd.list(n - 1)
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("index: reading NL vertex %d: %w", v, rd.err)
+		}
+		nl.levels[v] = lists
+	}
+	return nl, nil
+}
+
+// Save serializes the NLRNL index (component labels, c values, and
+// both list families; the graph itself is not embedded).
+func (x *NLRNL) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(nlrnlMagic); err != nil {
+		return err
+	}
+	cw := &countingWriter{w: bw}
+	n := len(x.c)
+	cw.u32(uint32(n))
+	for a := 0; a < n; a++ {
+		cw.u32(uint32(x.comp[a]))
+		cw.u32(uint32(x.c[a]))
+		cw.u32(uint32(len(x.fwd[a])))
+		for _, l := range x.fwd[a] {
+			cw.list(l)
+		}
+		cw.u32(uint32(len(x.rev[a])))
+		for _, l := range x.rev[a] {
+			cw.list(l)
+		}
+	}
+	if cw.err != nil {
+		return fmt.Errorf("index: writing NLRNL: %w", cw.err)
+	}
+	return bw.Flush()
+}
+
+// ReadNLRNL loads an NLRNL index written by Save. g must be the
+// topology the index was built from; the loaded index copies it so that
+// dynamic updates remain available.
+func ReadNLRNL(r io.Reader, g graph.Topology) (*NLRNL, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, nlrnlMagic); err != nil {
+		return nil, err
+	}
+	rd := &reader{r: br}
+	n := rd.u32()
+	if rd.err != nil {
+		return nil, fmt.Errorf("index: reading NLRNL header: %w", rd.err)
+	}
+	if int(n) != g.NumVertices() {
+		return nil, fmt.Errorf("index: NLRNL built for %d vertices, graph has %d", n, g.NumVertices())
+	}
+	x := &NLRNL{
+		g:    graph.MutableFrom(g),
+		comp: make([]int32, n),
+		c:    make([]int32, n),
+		fwd:  make([][][]graph.Vertex, n),
+		rev:  make([][][]graph.Vertex, n),
+	}
+	for a := uint32(0); a < n; a++ {
+		x.comp[a] = int32(rd.u32())
+		x.c[a] = int32(rd.u32())
+		nf := rd.u32()
+		if rd.err == nil && nf > 1024 {
+			rd.err = fmt.Errorf("implausible forward level count %d", nf)
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("index: reading NLRNL vertex %d: %w", a, rd.err)
+		}
+		x.fwd[a] = make([][]graph.Vertex, nf)
+		for d := range x.fwd[a] {
+			x.fwd[a][d] = rd.list(n - 1)
+		}
+		nr := rd.u32()
+		if rd.err == nil && nr > 1024 {
+			rd.err = fmt.Errorf("implausible reverse level count %d", nr)
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("index: reading NLRNL vertex %d: %w", a, rd.err)
+		}
+		x.rev[a] = make([][]graph.Vertex, nr)
+		for j := range x.rev[a] {
+			x.rev[a][j] = rd.list(n - 1)
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("index: reading NLRNL vertex %d: %w", a, rd.err)
+		}
+	}
+	return x, nil
+}
+
+func expectMagic(br *bufio.Reader, magic string) error {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return fmt.Errorf("index: bad magic %q, want %q", got, magic)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package keywords
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ktg/internal/graph"
+)
+
+// ReadAttributes parses a vertex-keyword file: one line per vertex in the
+// form "vertexID<TAB>kw1,kw2,..." (a single tab separates the id from a
+// comma-separated keyword list; '#' lines are comments; vertices may be
+// omitted to have no keywords). n is the number of graph vertices; ids
+// outside [0, n) are an error.
+func ReadAttributes(r io.Reader, n int, vocab *Vocabulary) (*Attributes, error) {
+	a := NewAttributes(n, vocab)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, rest, found := strings.Cut(line, "\t")
+		if !found {
+			return nil, fmt.Errorf("keywords: line %d: want \"id<TAB>kw,kw,...\", got %q", lineNo, line)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(id), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("keywords: line %d: bad vertex id: %v", lineNo, err)
+		}
+		if int(v) >= n {
+			return nil, fmt.Errorf("keywords: line %d: vertex %d out of range [0,%d)", lineNo, v, n)
+		}
+		var names []string
+		for _, kw := range strings.Split(rest, ",") {
+			kw = strings.TrimSpace(kw)
+			if kw != "" {
+				names = append(names, kw)
+			}
+		}
+		a.Assign(graph.Vertex(v), names...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("keywords: reading attributes: %w", err)
+	}
+	return a, nil
+}
+
+// WriteAttributes writes attributes in the format ReadAttributes accepts.
+// Vertices with no keywords are omitted.
+func WriteAttributes(w io.Writer, a *Attributes) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vertices: %d vocabulary: %d\n", a.NumVertices(), a.vocab.Size())
+	for v := 0; v < a.NumVertices(); v++ {
+		names := a.KeywordNames(graph.Vertex(v))
+		if len(names) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", v, strings.Join(names, ",")); err != nil {
+			return fmt.Errorf("keywords: writing attributes: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,316 @@
+package keywords
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ktg/internal/graph"
+)
+
+func TestVocabularyIntern(t *testing.T) {
+	v := NewVocabulary()
+	a := v.Intern("social network")
+	b := v.Intern("query processing")
+	if a == b {
+		t.Fatal("distinct names got the same id")
+	}
+	if v.Intern("social network") != a {
+		t.Error("re-interning changed the id")
+	}
+	if v.Size() != 2 {
+		t.Errorf("Size = %d, want 2", v.Size())
+	}
+	if v.Name(a) != "social network" {
+		t.Errorf("Name(%d) = %q", a, v.Name(a))
+	}
+	if _, ok := v.Lookup("missing"); ok {
+		t.Error("Lookup found a missing name")
+	}
+}
+
+func TestVocabularyNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name on unknown id did not panic")
+		}
+	}()
+	NewVocabulary().Name(5)
+}
+
+func TestAssignDeduplicatesAndSorts(t *testing.T) {
+	a := NewAttributes(2, nil)
+	a.Assign(0, "b", "a", "b", "c", "a")
+	got := a.KeywordNames(0)
+	// ids assigned in first-seen order: b=0 a=1 c=2 → sorted ids → b a c
+	if !reflect.DeepEqual(got, []string{"b", "a", "c"}) {
+		t.Fatalf("KeywordNames = %v", got)
+	}
+	if len(a.Keywords(0)) != 3 {
+		t.Fatalf("duplicates survived: %v", a.Keywords(0))
+	}
+	if !a.Has(0, mustID(t, a, "a")) {
+		t.Error("Has(a) = false")
+	}
+	if a.Has(1, 0) {
+		t.Error("unassigned vertex has keywords")
+	}
+}
+
+func mustID(t *testing.T, a *Attributes, name string) ID {
+	t.Helper()
+	id, ok := a.Vocabulary().Lookup(name)
+	if !ok {
+		t.Fatalf("keyword %q not interned", name)
+	}
+	return id
+}
+
+// figure1Attributes builds the keyword table of the paper's Figure 1
+// example, restricted to the query keywords {SN, QP, DQ, GQ, GD} plus a
+// filler keyword. Coverage facts asserted below come from the paper's
+// worked examples: QKC(u4) = 0.2, QKC(u6) = 0.4, u0 covers {SN, GD, DQ},
+// u10 covers QP, and {u5, u7} covers 0.2 jointly.
+func figure1Attributes() *Attributes {
+	a := NewAttributes(12, nil)
+	a.Assign(0, "SN", "GD", "DQ")
+	a.Assign(1, "SN", "DQ")
+	a.Assign(2, "GD")
+	a.Assign(3, "SN")
+	a.Assign(4, "GQ")
+	a.Assign(5, "GD")
+	a.Assign(6, "SN", "GQ")
+	a.Assign(7, "DQ")
+	a.Assign(8, "XX") // no query keyword
+	a.Assign(9)       // empty profile
+	a.Assign(10, "QP", "SN")
+	a.Assign(11, "DQ", "GD")
+	return a
+}
+
+var figure1Query = []string{"SN", "QP", "DQ", "GQ", "GD"}
+
+func TestQueryCoverageFigure1(t *testing.T) {
+	a := figure1Attributes()
+	q, err := CompileQueryNames(a, figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Width() != 5 {
+		t.Fatalf("Width = %d, want 5", q.Width())
+	}
+	if got := q.QKC(4); got != 0.2 {
+		t.Errorf("QKC(u4) = %v, want 0.2", got)
+	}
+	if got := q.QKC(6); got != 0.4 {
+		t.Errorf("QKC(u6) = %v, want 0.4", got)
+	}
+	if got := q.GroupQKC([]graph.Vertex{5, 7}); got != 0.4 {
+		t.Errorf("QKC({u5,u7}) = %v, want 0.4 (GD + DQ)", got)
+	}
+	if got := q.GroupQKC([]graph.Vertex{4, 6}); got != 0.4 {
+		t.Errorf("QKC({u4,u6}) = %v, want 0.4 (SN + GQ)", got)
+	}
+	if q.Covers(8) {
+		t.Error("u8 should not cover any query keyword")
+	}
+	if q.Covers(9) {
+		t.Error("u9 has no keywords at all")
+	}
+	if got := q.GroupQKC([]graph.Vertex{10, 0, 4}); got != 1.0 {
+		t.Errorf("QKC({u10,u0,u4}) = %v, want 1.0", got)
+	}
+}
+
+func TestVKCCount(t *testing.T) {
+	a := figure1Attributes()
+	q, err := CompileQueryNames(a, figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := q.GroupMask([]graph.Vertex{0}) // {SN, GD, DQ}
+	if got := q.VKCCount(10, covered); got != 1 {
+		t.Errorf("VKC(u10 | u0) = %d, want 1 (only QP is new)", got)
+	}
+	if got := q.VKCCount(1, covered); got != 0 {
+		t.Errorf("VKC(u1 | u0) = %d, want 0", got)
+	}
+	if got := q.VKCCount(4, covered); got != 1 {
+		t.Errorf("VKC(u4 | u0) = %d, want 1 (GQ)", got)
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	a := figure1Attributes()
+	q, err := CompileQueryNames(a, figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.Candidates()
+	want := []graph.Vertex{0, 1, 2, 3, 4, 5, 6, 7, 10, 11}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Candidates = %v, want %v", got, want)
+	}
+}
+
+func TestCompileQueryRejectsEmpty(t *testing.T) {
+	a := NewAttributes(1, nil)
+	if _, err := CompileQuery(a, nil); err == nil {
+		t.Fatal("CompileQuery accepted an empty query")
+	}
+}
+
+func TestCompileQueryDeduplicates(t *testing.T) {
+	a := NewAttributes(1, nil)
+	a.Assign(0, "x")
+	id := mustID(t, a, "x")
+	q, err := CompileQuery(a, []ID{id, id, id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Width() != 1 {
+		t.Fatalf("Width = %d, want 1 after dedup", q.Width())
+	}
+}
+
+func TestCompileQueryNamesUnknownKeywordsWidenQuery(t *testing.T) {
+	a := NewAttributes(2, nil)
+	a.Assign(0, "known")
+	q, err := CompileQueryNames(a, []string{"known", "never-seen", "never-seen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Width() != 2 {
+		t.Fatalf("Width = %d, want 2 (unknown keyword still occupies a bit)", q.Width())
+	}
+	if got := q.QKC(0); got != 0.5 {
+		t.Errorf("QKC = %v, want 0.5", got)
+	}
+}
+
+func TestGroupQKCNeverExceedsOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		vocabSize := 1 + r.Intn(15)
+		a := NewAttributes(n, nil)
+		for v := 0; v < n; v++ {
+			ids := make([]ID, r.Intn(6))
+			for i := range ids {
+				ids[i] = ID(r.Intn(vocabSize))
+			}
+			a.AssignIDs(graph.Vertex(v), ids...)
+		}
+		qIDs := make([]ID, 1+r.Intn(8))
+		for i := range qIDs {
+			qIDs[i] = ID(r.Intn(vocabSize))
+		}
+		q, err := CompileQuery(a, qIDs)
+		if err != nil {
+			return false
+		}
+		group := make([]graph.Vertex, 0, n)
+		for v := 0; v < n; v++ {
+			group = append(group, graph.Vertex(v))
+		}
+		g := q.GroupQKC(group)
+		if g < 0 || g > 1 {
+			return false
+		}
+		// Group coverage must dominate every member's coverage.
+		for _, v := range group {
+			if q.QKC(v) > g+1e-12 {
+				return false
+			}
+		}
+		// And equal the popcount union.
+		sum := q.GroupCoverageCount(group)
+		return math.Abs(g-float64(sum)/float64(q.Width())) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVKCConsistentWithGroupGrowth(t *testing.T) {
+	// Adding vertex v to a group grows coverage by exactly VKCCount(v).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		a := NewAttributes(n, nil)
+		for v := 0; v < n; v++ {
+			ids := make([]ID, r.Intn(5))
+			for i := range ids {
+				ids[i] = ID(r.Intn(10))
+			}
+			a.AssignIDs(graph.Vertex(v), ids...)
+		}
+		q, err := CompileQuery(a, []ID{0, 1, 2, 3, 4, 5})
+		if err != nil {
+			return false
+		}
+		group := []graph.Vertex{}
+		for v := 0; v < n/2; v++ {
+			group = append(group, graph.Vertex(v))
+		}
+		covered := q.GroupMask(group)
+		v := graph.Vertex(n - 1)
+		before := covered.Count()
+		vkc := q.VKCCount(v, covered)
+		after := q.GroupCoverageCount(append(group, v))
+		return after == before+vkc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributesIORoundTrip(t *testing.T) {
+	a := figure1Attributes()
+	var buf bytes.Buffer
+	if err := WriteAttributes(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadAttributes(&buf, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 12; v++ {
+		if !reflect.DeepEqual(a.KeywordNames(graph.Vertex(v)), b.KeywordNames(graph.Vertex(v))) {
+			t.Fatalf("vertex %d: %v vs %v", v, a.KeywordNames(graph.Vertex(v)), b.KeywordNames(graph.Vertex(v)))
+		}
+	}
+}
+
+func TestReadAttributesErrors(t *testing.T) {
+	cases := []struct {
+		in, wantSub string
+	}{
+		{"no-tab-here\n", "id<TAB>"},
+		{"x\ta,b\n", "bad vertex id"},
+		{"99\ta\n", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := ReadAttributes(strings.NewReader(c.in), 5, nil)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("input %q: err = %v, want containing %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestAverageKeywordsPerVertex(t *testing.T) {
+	a := NewAttributes(4, nil)
+	a.Assign(0, "a", "b")
+	a.Assign(1, "c")
+	// vertices 2, 3 empty
+	if got := a.AverageKeywordsPerVertex(); got != 0.75 {
+		t.Errorf("AverageKeywordsPerVertex = %v, want 0.75", got)
+	}
+	if got := NewAttributes(0, nil).AverageKeywordsPerVertex(); got != 0 {
+		t.Errorf("empty attributes average = %v, want 0", got)
+	}
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ktg/internal/keywords"
+)
+
+// SaveQueries writes query keyword sets as one line per query
+// (space-separated keyword ids, '#' comments allowed), so a measured
+// workload can be replayed byte-for-byte in a later session or by a
+// different implementation.
+func SaveQueries(w io.Writer, batch [][]keywords.ID) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ktg workload: %d queries\n", len(batch))
+	for _, q := range batch {
+		for i, id := range q {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(id), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadQueries reads a workload written by SaveQueries.
+func LoadQueries(r io.Reader) ([][]keywords.ID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var batch [][]keywords.ID
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var q []keywords.ID
+		for _, f := range strings.Fields(line) {
+			id, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad keyword id %q: %v", lineNo, f, err)
+			}
+			q = append(q, keywords.ID(id))
+		}
+		if len(q) == 0 {
+			return nil, fmt.Errorf("workload: line %d: empty query", lineNo)
+		}
+		batch = append(batch, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading queries: %w", err)
+	}
+	return batch, nil
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ktg/internal/gen"
+)
+
+func testDataset(t *testing.T) *gen.Dataset {
+	t.Helper()
+	d, err := gen.Generate(gen.Config{
+		N: 500, AvgDegree: 8, TriadicProb: 0.4,
+		VocabSize: 100, KeywordsPerVertex: 6, ZipfS: 1.4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestVary(t *testing.T) {
+	p, err := Vary("p", 7)
+	if err != nil || p.P != 7 || p.K != DefaultParams.K {
+		t.Fatalf("Vary(p,7) = %+v, %v", p, err)
+	}
+	k, err := Vary("k", 3)
+	if err != nil || k.K != 3 || k.P != DefaultParams.P {
+		t.Fatalf("Vary(k,3) = %+v, %v", k, err)
+	}
+	if _, err := Vary("zz", 1); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestSweepRangesMatchTable1(t *testing.T) {
+	for _, c := range []struct {
+		param string
+		want  []int
+	}{
+		{"p", []int{3, 4, 5, 6, 7}},
+		{"k", []int{1, 2, 3, 4}},
+		{"w", []int{4, 5, 6, 7, 8}},
+		{"n", []int{3, 5, 7, 9, 11}},
+	} {
+		got, err := Sweep(c.param)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("Sweep(%s) = %v, want %v", c.param, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Sweep(%s) = %v, want %v", c.param, got, c.want)
+			}
+		}
+	}
+	if _, err := Sweep("zz"); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestQueryKeywordsDistinctAndCovered(t *testing.T) {
+	d := testDataset(t)
+	g := NewGenerator(d, 1)
+	for trial := 0; trial < 20; trial++ {
+		ids := g.QueryKeywords(6)
+		if len(ids) != 6 {
+			t.Fatalf("got %d keywords, want 6", len(ids))
+		}
+		seen := map[uint32]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatal("duplicate keyword in query")
+			}
+			seen[id] = true
+		}
+		// Every sampled keyword must be covered by some vertex.
+		for _, id := range ids {
+			found := false
+			for v := 0; v < d.Attrs.NumVertices() && !found; v++ {
+				for _, k := range d.Attrs.Keywords(uint32(v)) {
+					if k == id {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("query keyword %d covered by nobody", id)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	d := testDataset(t)
+	a := NewGenerator(d, 9).Batch(5, 4)
+	b := NewGenerator(d, 9).Batch(5, 4)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("same seed, different batches")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed, different keywords")
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if got := Summarize(nil); got.Samples != 0 {
+		t.Error("Summarize(nil) should be zero")
+	}
+	ds := []time.Duration{40, 10, 20, 30}
+	s := Summarize(ds)
+	if s.Samples != 4 {
+		t.Errorf("Samples = %d", s.Samples)
+	}
+	if s.Mean != 25 {
+		t.Errorf("Mean = %v, want 25", s.Mean)
+	}
+	if s.Median != 20 {
+		t.Errorf("Median = %v, want 20", s.Median)
+	}
+	if s.Max != 40 {
+		t.Errorf("Max = %v, want 40", s.Max)
+	}
+	if s.P95 != 30 && s.P95 != 40 {
+		t.Errorf("P95 = %v", s.P95)
+	}
+	// Input must be untouched.
+	if ds[0] != 40 {
+		t.Error("Summarize mutated input")
+	}
+}
+
+func TestQueryReplayRoundTrip(t *testing.T) {
+	d := testDataset(t)
+	g := NewGenerator(d, 4)
+	batch := g.Batch(8, 5)
+	var buf bytes.Buffer
+	if err := SaveQueries(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadQueries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("loaded %d queries, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if len(got[i]) != len(batch[i]) {
+			t.Fatalf("query %d length differs", i)
+		}
+		for j := range batch[i] {
+			if got[i][j] != batch[i][j] {
+				t.Fatalf("query %d keyword %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadQueriesErrors(t *testing.T) {
+	if _, err := LoadQueries(strings.NewReader("1 notanumber\n")); err == nil {
+		t.Error("bad keyword id accepted")
+	}
+	got, err := LoadQueries(strings.NewReader("# only a comment\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("comment-only workload: %v, %v", got, err)
+	}
+}

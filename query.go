@@ -1,0 +1,356 @@
+package ktg
+
+import (
+	"sort"
+	"time"
+
+	"ktg/internal/core"
+	"ktg/internal/index"
+	"ktg/internal/keywords"
+)
+
+// Query carries the KTG query parameters ⟨W_Q, p, k, N⟩.
+type Query struct {
+	// Keywords is the query keyword set W_Q. Keywords absent from the
+	// network still count toward |W_Q| (they are covered by nobody),
+	// matching the paper where W_Q comes from the document under
+	// review, not from the network.
+	Keywords []string
+	// GroupSize is p, the exact number of members per group.
+	GroupSize int
+	// Tenuity is k: every pair of members must be more than k hops
+	// apart (the group is a k-distance group).
+	Tenuity int
+	// TopN is N, the number of groups to return.
+	TopN int
+}
+
+// Algorithm selects the search strategy.
+type Algorithm int
+
+const (
+	// AlgVKCDeg is KTG-VKC-DEG, the paper's fastest exact algorithm:
+	// valid-keyword-coverage ordering with an ascending-degree
+	// tie-break. The zero value and the recommended default.
+	AlgVKCDeg Algorithm = iota
+	// AlgVKC is KTG-VKC (Algorithm 1): valid-keyword-coverage ordering.
+	AlgVKC
+	// AlgQKC is the KTG-QKC variant: static query-keyword-coverage
+	// ordering, no re-sorting.
+	AlgQKC
+	// AlgBruteForce enumerates all size-p combinations. Exact but
+	// exponential; use only on small networks or for verification.
+	AlgBruteForce
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgVKCDeg:
+		return "KTG-VKC-DEG"
+	case AlgVKC:
+		return "KTG-VKC"
+	case AlgQKC:
+		return "KTG-QKC"
+	case AlgBruteForce:
+		return "BruteForce"
+	default:
+		return "Algorithm(?)"
+	}
+}
+
+// SearchOptions tunes a Search.
+type SearchOptions struct {
+	// Algorithm picks the search strategy (default AlgVKCDeg).
+	Algorithm Algorithm
+	// Index answers social-distance checks; nil uses the index-free
+	// BFS baseline. Build one with Network.BuildNL or
+	// Network.BuildNLRNL for repeated querying.
+	Index DistanceIndex
+	// DisableKeywordPruning turns off the branch-and-bound coverage
+	// bound (for ablation measurements only).
+	DisableKeywordPruning bool
+	// UncappedPruneBound reproduces the paper's literal Theorem 2
+	// bound. By default the bound is additionally capped at |W_Q|,
+	// which is usually much faster and equally exact; enable this only
+	// to reproduce the paper's cost model.
+	UncappedPruneBound bool
+	// MaxNodes bounds the branch-and-bound effort; 0 means unlimited.
+	// When exceeded, Search returns the best groups found so far
+	// together with ErrBudgetExhausted.
+	MaxNodes int64
+	// MaxDuration bounds the search wall-clock time; 0 means
+	// unlimited. When exceeded, Search returns the best groups found
+	// so far together with ErrBudgetExhausted.
+	MaxDuration time.Duration
+	// ExcludeMembers are vertices banned from all result groups.
+	ExcludeMembers []Vertex
+	// QueryVertices are "the authors": vertices whose social circle
+	// must not review them. Every candidate within Tenuity hops of a
+	// query vertex is removed before the search.
+	QueryVertices []Vertex
+}
+
+// ErrBudgetExhausted reports that MaxNodes was reached; the returned
+// result holds the best groups found within the budget.
+var ErrBudgetExhausted = core.ErrBudgetExhausted
+
+// Group is one result group.
+type Group struct {
+	// Members in increasing vertex-id order.
+	Members []Vertex
+	// Covered lists the query keywords the members jointly cover.
+	Covered []string
+	// QKC is the group's query keyword coverage in [0, 1]
+	// (|Covered| / |W_Q|).
+	QKC float64
+}
+
+// SearchStats reports search effort.
+type SearchStats struct {
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int64
+	// Pruned counts subtrees cut by keyword pruning.
+	Pruned int64
+	// Filtered counts candidates removed by k-line filtering.
+	Filtered int64
+	// DistanceChecks counts social-distance queries.
+	DistanceChecks int64
+}
+
+// Result is the output of a KTG search.
+type Result struct {
+	// Groups holds at most TopN groups in descending coverage order.
+	Groups []Group
+	// Stats reports search effort.
+	Stats SearchStats
+}
+
+// Search answers a KTG query on the network. If fewer than TopN feasible
+// groups exist, all of them are returned; an infeasible query yields an
+// empty result, not an error.
+func (n *Network) Search(q Query, opts SearchOptions) (*Result, error) {
+	cq, copts := n.lower(q, opts)
+	var (
+		res *core.Result
+		err error
+	)
+	if opts.Algorithm == AlgBruteForce {
+		res, err = core.BruteForce(n.g, n.attrs, cq, copts)
+	} else {
+		res, err = core.Search(n.g, n.attrs, cq, copts)
+	}
+	if res == nil {
+		return nil, err
+	}
+	return n.lift(res, q.Keywords), err
+}
+
+// DiverseOptions tunes a SearchDiverse.
+type DiverseOptions struct {
+	// SearchOptions configures the per-group searches (DKTG-Greedy
+	// runs KTG-VKC-DEG by default).
+	SearchOptions
+	// Gamma weighs minimum coverage against diversity in the total
+	// score, in [0, 1]. The paper's case study uses 0.5.
+	Gamma float64
+}
+
+// DiverseResult is the output of a DKTG search.
+type DiverseResult struct {
+	// Groups are pairwise-disjoint, in discovery order; the first
+	// attains the globally optimal coverage.
+	Groups []Group
+	// Diversity is the mean pairwise Jaccard distance (1 = disjoint).
+	Diversity float64
+	// MinQKC is the smallest group coverage.
+	MinQKC float64
+	// Score is γ·MinQKC + (1-γ)·Diversity.
+	Score float64
+	// Stats aggregates effort across the per-group searches.
+	Stats SearchStats
+}
+
+// SearchDiverse answers a DKTG query with the paper's DKTG-Greedy
+// algorithm: top groups are found one at a time and their members are
+// removed from the pool, so the returned groups never share members.
+func (n *Network) SearchDiverse(q Query, opts DiverseOptions) (*DiverseResult, error) {
+	cq, copts := n.lower(q, opts.SearchOptions)
+	dr, err := core.SearchDiverse(n.g, n.attrs, cq, core.DiverseOptions{
+		Options: copts,
+		Gamma:   opts.Gamma,
+	})
+	if dr == nil {
+		return nil, err
+	}
+	out := &DiverseResult{
+		Diversity: dr.Diversity,
+		MinQKC:    dr.MinQKC,
+		Score:     dr.Score,
+		Stats:     liftStats(dr.Stats),
+	}
+	for _, grp := range dr.Groups {
+		out.Groups = append(out.Groups, n.liftGroup(grp, dr.QueryWidth, q.Keywords))
+	}
+	return out, err
+}
+
+// SearchGreedy answers a KTG query approximately with a single greedy
+// pass per group (no backtracking): from each seed vertex it repeatedly
+// adds the compatible candidate with the highest valid keyword coverage.
+// Returned groups always satisfy every KTG constraint, but their
+// coverage may fall short of the exact optimum. seeds limits how many
+// starting vertices are tried (0 = 4×TopN). Use it when exact search is
+// too slow and a small coverage gap is acceptable.
+func (n *Network) SearchGreedy(q Query, idx DistanceIndex, seeds int) (*Result, error) {
+	cq, _ := n.lower(q, SearchOptions{})
+	var oracle = core.GreedyOptions{Seeds: seeds}
+	if idx != nil {
+		oracle.Oracle = idx
+	}
+	res, err := core.Greedy(n.g, n.attrs, cq, oracle)
+	if err != nil {
+		return nil, err
+	}
+	return n.lift(res, q.Keywords), nil
+}
+
+// TAGQBaseline runs the TAGQ-style comparison baseline of the paper's
+// case study: coverage-greedy groups under a k-tenuity ratio budget
+// instead of a hard k-distance constraint, with no per-member coverage
+// requirement. budget is the allowed fraction of close member pairs
+// (0 applies the default 0.34).
+func (n *Network) TAGQBaseline(q Query, budget float64, idx DistanceIndex) (*Result, error) {
+	cq, _ := n.lower(q, SearchOptions{})
+	res, err := core.TAGQ(n.g, n.attrs, cq, core.TAGQOptions{Oracle: idx, TenuityBudget: budget})
+	if err != nil {
+		return nil, err
+	}
+	return n.lift(res, q.Keywords), nil
+}
+
+// lower converts public query/options to their core equivalents.
+func (n *Network) lower(q Query, opts SearchOptions) (core.Query, core.Options) {
+	cq := core.Query{
+		Keywords: keywords.QueryIDsForNames(n.attrs, q.Keywords),
+		P:        q.GroupSize,
+		K:        q.Tenuity,
+		N:        q.TopN,
+	}
+	var ordering core.Ordering
+	switch opts.Algorithm {
+	case AlgVKC:
+		ordering = core.OrderVKC
+	case AlgQKC:
+		ordering = core.OrderQKC
+	default:
+		ordering = core.OrderVKCDegree
+	}
+	copts := core.Options{
+		Ordering:              ordering,
+		DisableKeywordPruning: opts.DisableKeywordPruning,
+		UncappedPruneBound:    opts.UncappedPruneBound,
+		MaxNodes:              opts.MaxNodes,
+		MaxDuration:           opts.MaxDuration,
+		ExcludeVertices:       opts.ExcludeMembers,
+		QueryVertices:         opts.QueryVertices,
+	}
+	if opts.Index != nil {
+		copts.Oracle = opts.Index
+	}
+	return cq, copts
+}
+
+func (n *Network) lift(res *core.Result, queryKeywords []string) *Result {
+	out := &Result{Stats: liftStats(res.Stats)}
+	for _, g := range res.Groups {
+		out.Groups = append(out.Groups, n.liftGroup(g, res.QueryWidth, queryKeywords))
+	}
+	return out
+}
+
+func (n *Network) liftGroup(g core.Group, width int, queryKeywords []string) Group {
+	have := map[string]bool{}
+	for _, v := range g.Members {
+		for _, kw := range n.attrs.KeywordNames(v) {
+			have[kw] = true
+		}
+	}
+	seen := map[string]bool{}
+	var covered []string
+	for _, kw := range queryKeywords {
+		if have[kw] && !seen[kw] {
+			seen[kw] = true
+			covered = append(covered, kw)
+		}
+	}
+	sort.Strings(covered)
+	return Group{
+		Members: append([]Vertex(nil), g.Members...),
+		Covered: covered,
+		QKC:     g.QKC(width),
+	}
+}
+
+func liftStats(s core.Stats) SearchStats {
+	return SearchStats{
+		Nodes:          s.Nodes,
+		Pruned:         s.Pruned,
+		Filtered:       s.Filtered,
+		DistanceChecks: s.OracleCalls,
+	}
+}
+
+// TenuityAudit quantifies how tenuous a set of members is: the number
+// of pairs within k hops (k-lines), triples with all pairs within k
+// hops (k-triangles), the k-tenuity ratio of Li et al., and the minimum
+// pairwise hop distance (-1 when all pairs are disconnected). Groups
+// returned by Search always audit to zero k-lines and MinDistance > k;
+// use this to inspect groups from other sources (e.g. TAGQBaseline).
+type TenuityAudit struct {
+	K           int
+	Pairs       int
+	KLines      int
+	KTriangles  int
+	KTenuity    float64
+	MinDistance int
+}
+
+// AuditTenuity measures the tenuity of an arbitrary member set. idx may
+// be nil (BFS). Distances are resolved exactly up to maxHops.
+func (n *Network) AuditTenuity(members []Vertex, k, maxHops int, idx DistanceIndex) TenuityAudit {
+	var oracle index.Oracle
+	if idx != nil {
+		oracle = idx
+	}
+	rep := core.MeasureTenuity(n.g, members, k, maxHops, oracle)
+	return TenuityAudit{
+		K:           rep.K,
+		Pairs:       rep.Pairs,
+		KLines:      rep.KLines,
+		KTriangles:  rep.KTriangles,
+		KTenuity:    rep.KTenuity,
+		MinDistance: rep.MinDistance,
+	}
+}
+
+// CoveredKeywords returns the query keywords from q that the given
+// members jointly cover, in q's order.
+func (n *Network) CoveredKeywords(q Query, members []Vertex) []string {
+	have := map[string]bool{}
+	for _, v := range members {
+		for _, kw := range n.attrs.KeywordNames(v) {
+			have[kw] = true
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, kw := range q.Keywords {
+		if have[kw] && !seen[kw] {
+			seen[kw] = true
+			out = append(out, kw)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
