@@ -12,6 +12,7 @@ package ktg_test
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -250,6 +251,41 @@ func BenchmarkAblationOrdering(b *testing.B) {
 
 // BenchmarkSearchDiverse measures the DKTG-Greedy overhead over a plain
 // top-N search.
+// BenchmarkSearch measures one exact KTG-VKC-DEG/NLRNL query — the
+// reference number for the observability layer's "near-zero cost when
+// off" requirement. The off/traced sub-benchmarks differ only in
+// whether a Tracer is installed, so their delta is the tracing
+// overhead.
+func BenchmarkSearch(b *testing.B) {
+	net := benchNet()
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := benchQuery(net)
+	run := func(b *testing.B, opts ktg.SearchOptions) {
+		opts.Index = idx
+		opts.MaxNodes = 5_000_000
+		opts.MaxDuration = 2 * time.Second
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.Search(q, opts); err != nil && !errors.Is(err, ktg.ErrBudgetExhausted) {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, ktg.SearchOptions{}) })
+	b.Run("traced", func(b *testing.B) {
+		run(b, ktg.SearchOptions{Tracer: &countTracer{}})
+	})
+}
+
+// countTracer is the cheapest possible live tracer: two atomic counters.
+type countTracer struct{ spans, events atomic.Int64 }
+
+func (t *countTracer) Span(string, time.Duration)  { t.spans.Add(1) }
+func (t *countTracer) Event(string, string, int64) { t.events.Add(1) }
+
 func BenchmarkSearchDiverse(b *testing.B) {
 	net := benchNet()
 	idx, err := net.BuildNLRNL()

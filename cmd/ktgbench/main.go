@@ -6,7 +6,8 @@
 // Usage:
 //
 //	ktgbench -exp fig3 -scale 0.02 -queries 20
-//	ktgbench -exp all
+//	ktgbench -exp all -json out/         # writes out/BENCH_<id>.json per experiment
+//	ktgbench -exp fig4 -debug-addr :6060 # scrape /metrics, profile via /debug/pprof
 //	ktgbench -list
 package main
 
@@ -14,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"ktg"
 	"ktg/internal/expr"
 )
 
@@ -30,6 +33,8 @@ func main() {
 		capped  = flag.Bool("capped", false, "use the improved |W_Q|-capped prune bound instead of the paper's")
 		quiet   = flag.Bool("quiet", false, "suppress per-point progress on stderr")
 		csvPath = flag.String("csv", "", "also append measurement rows to this CSV file")
+		jsonDir = flag.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
+		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -39,6 +44,15 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *dbgAddr != "" {
+		addr, _, err := ktg.StartDebugServer(*dbgAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ktgbench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ktgbench: debug server on %s (/metrics /debug/vars /debug/pprof/)\n", addr)
 	}
 
 	env := expr.NewEnv(*scale, *queries, *seed)
@@ -70,6 +84,23 @@ func main() {
 				fmt.Fprintf(os.Stderr, "ktgbench: writing CSV: %v\n", err)
 			}
 			f.Close()
+		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "ktgbench: creating JSON dir: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ktgbench: creating %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if err := expr.WriteBenchJSON(f, env, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "ktgbench: writing %s: %v\n", path, err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "ktgbench: wrote %s\n", path)
 		}
 	}
 

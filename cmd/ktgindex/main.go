@@ -29,8 +29,17 @@ func main() {
 		kind   = flag.String("kind", "both", "index kind: nl, nlrnl, both")
 		save   = flag.String("save", "", "persist the built index to this file (single -kind only)")
 		check  = flag.String("check", "", "u,v,k triple: report whether dist(u,v) <= k")
+		debug  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while building")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		addr, _, err := ktg.StartDebugServer(*debug)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ktgindex: debug server on %s (/metrics /debug/vars /debug/pprof/)\n", addr)
+	}
 
 	net, err := loadNetwork(*preset, *scale, *edges)
 	if err != nil {

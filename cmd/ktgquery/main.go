@@ -6,17 +6,28 @@
 //	ktgquery -preset brightkite -scale 0.05 -keywords auto -p 3 -k 2 -n 3
 //	ktgquery -edges g.edges -attrs g.attrs -keywords kw01,kw07 -p 4 -k 1 -n 5 -alg vkc -index nl
 //	ktgquery -preset dblp -scale 0.02 -keywords auto -diverse
+//	ktgquery -preset gowalla -v -stats-json -debug-addr :6060
+//
+// Result groups print on stdout; progress and statistics go to a
+// structured slog logger on stderr (info level by default, debug with
+// -v). -stats-json dumps the full SearchStats as one JSON object on
+// stdout. -debug-addr serves /metrics, /debug/vars, and /debug/pprof/
+// for the lifetime of the process (the process stays up after answering
+// so the endpoints can be scraped; interrupt to exit).
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"ktg"
+	"ktg/internal/obs"
 )
 
 func main() {
@@ -35,14 +46,38 @@ func main() {
 		greedy    = flag.Bool("greedy", false, "run the approximate greedy search instead of an exact algorithm")
 		gamma     = flag.Float64("gamma", 0.5, "DKTG coverage/diversity weight")
 		maxNodes  = flag.Int64("maxnodes", 50_000_000, "search node budget (0 = unlimited)")
+		verbose   = flag.Bool("v", false, "debug-level structured logging (per-phase spans, index builds)")
+		statsJSON = flag.Bool("stats-json", false, "dump the full SearchStats as one JSON object on stdout")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address and stay up after answering")
 	)
 	flag.Parse()
 
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewTextLogger(os.Stderr, level)
+	ktg.SetDefaultLogger(logger)
+
+	if *debugAddr != "" {
+		addr, _, err := ktg.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("debug server listening", "addr", addr,
+			"endpoints", "/metrics /debug/vars /debug/pprof/")
+	}
+
 	net, err := loadNetwork(*preset, *scale, *edges, *attrs)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
-	fmt.Printf("%s\n", net)
+	net.SetLogger(logger)
+	if *verbose {
+		net.SetTracer(obs.SlogTracer{L: logger})
+	}
+	logger.Info("network loaded", "name", net.Name(),
+		"vertices", net.NumVertices(), "edges", net.NumEdges(), "keywords", net.VocabularySize())
 
 	var kws []string
 	if *kwList == "auto" {
@@ -55,9 +90,9 @@ func main() {
 		}
 	}
 	q := ktg.Query{Keywords: kws, GroupSize: *p, Tenuity: *k, TopN: *n}
-	fmt.Printf("query: W_Q=%v p=%d k=%d N=%d\n", kws, *p, *k, *n)
+	logger.Info("query", "keywords", kws, "p", *p, "k", *k, "n", *n)
 
-	opts := ktg.SearchOptions{MaxNodes: *maxNodes}
+	opts := ktg.SearchOptions{MaxNodes: *maxNodes, Logger: logger}
 	switch *alg {
 	case "vkc-deg":
 		opts.Algorithm = ktg.AlgVKCDeg
@@ -68,7 +103,7 @@ func main() {
 	case "brute":
 		opts.Algorithm = ktg.AlgBruteForce
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+		fatal(logger, fmt.Errorf("unknown algorithm %q", *alg))
 	}
 	start := time.Now()
 	switch *indexKind {
@@ -77,49 +112,69 @@ func main() {
 	case "nl":
 		idx, err := net.BuildNL(0)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 		opts.Index = idx
 	case "nlrnl":
 		idx, err := net.BuildNLRNL()
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 		opts.Index = idx
 	default:
-		fatal(fmt.Errorf("unknown index %q", *indexKind))
+		fatal(logger, fmt.Errorf("unknown index %q", *indexKind))
 	}
-	fmt.Printf("index %s ready in %v\n", opts.Index.Name(), time.Since(start).Round(time.Millisecond))
+	logger.Info("index ready", "index", opts.Index.Name(), "dur", time.Since(start).Round(time.Millisecond))
 
-	if *greedy {
+	switch {
+	case *greedy:
 		start = time.Now()
 		res, err := net.SearchGreedy(q, opts.Index, 0)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
-		fmt.Printf("Greedy answered in %v (approximate; %d seeds tried)\n",
-			time.Since(start).Round(time.Microsecond), res.Stats.Nodes)
+		logger.Info("greedy answered", "dur", time.Since(start).Round(time.Microsecond),
+			"seeds", res.Stats.Nodes, "note", "approximate")
+		emitStats(logger, *statsJSON, res.Stats)
 		printGroups(net, res.Groups)
-		return
-	}
-
-	if *diverse {
+	case *diverse:
 		start = time.Now()
 		dr, err := net.SearchDiverse(q, ktg.DiverseOptions{SearchOptions: opts, Gamma: *gamma})
-		reportErr(err)
-		fmt.Printf("DKTG-Greedy answered in %v (score %.3f, diversity %.3f, min coverage %.3f)\n",
-			time.Since(start).Round(time.Microsecond), dr.Score, dr.Diversity, dr.MinQKC)
+		reportErr(logger, err)
+		logger.Info("DKTG-Greedy answered", "dur", time.Since(start).Round(time.Microsecond),
+			"score", dr.Score, "diversity", dr.Diversity, "min_coverage", dr.MinQKC)
+		emitStats(logger, *statsJSON, dr.Stats)
 		printGroups(net, dr.Groups)
-		return
+	default:
+		start = time.Now()
+		res, err := net.Search(q, opts)
+		reportErr(logger, err)
+		logger.Info("search answered", "alg", opts.Algorithm.String(),
+			"dur", time.Since(start).Round(time.Microsecond),
+			"nodes", res.Stats.Nodes, "pruned", res.Stats.Pruned,
+			"distance_checks", res.Stats.DistanceChecks, "feasible", res.Stats.Feasible,
+			"compile", res.Stats.CompileTime, "candidates", res.Stats.CandidateTime,
+			"explore", res.Stats.ExploreTime)
+		emitStats(logger, *statsJSON, res.Stats)
+		printGroups(net, res.Groups)
 	}
 
-	start = time.Now()
-	res, err := net.Search(q, opts)
-	reportErr(err)
-	fmt.Printf("%s answered in %v (%d nodes explored, %d pruned, %d distance checks)\n",
-		opts.Algorithm, time.Since(start).Round(time.Microsecond),
-		res.Stats.Nodes, res.Stats.Pruned, res.Stats.DistanceChecks)
-	printGroups(net, res.Groups)
+	if *debugAddr != "" {
+		logger.Info("answering done; debug server still serving (interrupt to exit)")
+		select {}
+	}
+}
+
+// emitStats dumps the full stats struct (including the timing breakdown
+// and per-depth histograms) as one JSON object on stdout.
+func emitStats(logger *slog.Logger, enabled bool, s ktg.SearchStats) {
+	if !enabled {
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(s); err != nil {
+		logger.Error("encoding stats", "err", err)
+	}
 }
 
 func loadNetwork(preset string, scale float64, edges, attrs string) (*ktg.Network, error) {
@@ -159,18 +214,18 @@ func printGroups(net *ktg.Network, groups []ktg.Group) {
 	}
 }
 
-func reportErr(err error) {
+func reportErr(logger *slog.Logger, err error) {
 	if err == nil {
 		return
 	}
 	if errors.Is(err, ktg.ErrBudgetExhausted) {
-		fmt.Println("note: node budget exhausted; result may be partial")
+		logger.Warn("node budget exhausted; result may be partial")
 		return
 	}
-	fatal(err)
+	fatal(logger, err)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ktgquery:", err)
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("ktgquery failed", "err", err)
 	os.Exit(1)
 }

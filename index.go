@@ -33,9 +33,10 @@ type NLIndex struct {
 
 // BuildNL constructs an NL index. h is the number of stored hop levels;
 // pass 0 to let the index pick the most populated hop level (the paper's
-// rule).
+// rule). The build reports to the network's logger and tracer (see
+// SetLogger/SetTracer) and to the process-wide metrics.
 func (n *Network) BuildNL(h int) (*NLIndex, error) {
-	nl, err := index.BuildNL(n.g, index.NLOptions{H: h})
+	nl, err := index.BuildNL(n.g, index.NLOptions{H: h, Tracer: n.tracer, Logger: n.logger})
 	if err != nil {
 		return nil, err
 	}
@@ -78,9 +79,11 @@ type NLRNLIndex struct {
 	x *index.NLRNL
 }
 
-// BuildNLRNL constructs an NLRNL index.
+// BuildNLRNL constructs an NLRNL index. The build reports to the
+// network's logger and tracer (see SetLogger/SetTracer) and to the
+// process-wide metrics.
 func (n *Network) BuildNLRNL() (*NLRNLIndex, error) {
-	x, err := index.BuildNLRNL(n.g)
+	x, err := index.BuildNLRNLWith(n.g, index.NLRNLOptions{Tracer: n.tracer, Logger: n.logger})
 	if err != nil {
 		return nil, err
 	}

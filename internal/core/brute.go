@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ktg/internal/graph"
 	"ktg/internal/index"
@@ -21,6 +22,7 @@ func BruteForce(g graph.Topology, attrs *keywords.Attributes, q Query, opts Opti
 		return nil, fmt.Errorf("core: attributes cover %d vertices, graph has %d",
 			attrs.NumVertices(), g.NumVertices())
 	}
+	compileStart := time.Now()
 	kq, err := keywords.CompileQuery(attrs, q.Keywords)
 	if err != nil {
 		return nil, err
@@ -32,6 +34,7 @@ func BruteForce(g graph.Topology, attrs *keywords.Attributes, q Query, opts Opti
 	cands := kq.Candidates()
 	heap := newTopN(q.N)
 	var stats Stats
+	stats.CompileTime = time.Since(compileStart)
 
 	group := make([]graph.Vertex, 0, q.P)
 	var recurse func(start int)
@@ -60,7 +63,9 @@ func BruteForce(g graph.Topology, attrs *keywords.Attributes, q Query, opts Opti
 			group = group[:len(group)-1]
 		}
 	}
+	exploreStart := time.Now()
 	recurse(0)
+	stats.ExploreTime = time.Since(exploreStart)
 
 	groups := heap.Groups()
 	// Candidates are scanned in increasing id order, so each group's

@@ -7,12 +7,14 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
 	"ktg/internal/graph"
 	"ktg/internal/index"
 	"ktg/internal/keywords"
+	"ktg/internal/obs"
 )
 
 // Query carries the KTG query parameters ⟨W_Q, p, k, N⟩ of Definition 7.
@@ -110,6 +112,14 @@ type Options struct {
 	// review. Any candidate within distance K of a query vertex is
 	// removed before the search starts.
 	QueryVertices []graph.Vertex
+	// Tracer receives phase spans and sampled explore events. nil (the
+	// default) disables tracing entirely; the hot path then pays one
+	// branch per node. Wrap with obs.Sampled to thin per-node events.
+	Tracer obs.Tracer
+	// Logger receives structured start/finish records for each search.
+	// nil falls back to the obs package default (a no-op unless the
+	// embedding application installed one).
+	Logger *slog.Logger
 }
 
 // ErrBudgetExhausted is returned (wrapped) when MaxNodes is hit.
@@ -142,6 +152,48 @@ type Stats struct {
 	OracleCalls int64
 	// Feasible counts complete size-p groups evaluated.
 	Feasible int64
+
+	// Wall-clock breakdown of the search phases: query compilation,
+	// initial candidate-set construction, and branch-and-bound
+	// exploration.
+	CompileTime   time.Duration
+	CandidateTime time.Duration
+	ExploreTime   time.Duration
+
+	// Per-depth effort histograms: index d counts events at nodes whose
+	// intermediate group S_I holds d members (so index P marks complete
+	// groups). nil when the search never allocated them (e.g. rejected
+	// queries).
+	DepthNodes    []int64
+	DepthPruned   []int64
+	DepthFiltered []int64
+}
+
+// Add accumulates o into s, summing counters and timings and merging
+// the per-depth histograms element-wise. SearchDiverse uses it to
+// aggregate its per-group searches.
+func (s *Stats) Add(o Stats) {
+	s.Nodes += o.Nodes
+	s.Pruned += o.Pruned
+	s.Filtered += o.Filtered
+	s.OracleCalls += o.OracleCalls
+	s.Feasible += o.Feasible
+	s.CompileTime += o.CompileTime
+	s.CandidateTime += o.CandidateTime
+	s.ExploreTime += o.ExploreTime
+	s.DepthNodes = addDepth(s.DepthNodes, o.DepthNodes)
+	s.DepthPruned = addDepth(s.DepthPruned, o.DepthPruned)
+	s.DepthFiltered = addDepth(s.DepthFiltered, o.DepthFiltered)
+}
+
+func addDepth(dst, src []int64) []int64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
 }
 
 // Result is the output of a KTG search.

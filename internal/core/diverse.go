@@ -6,6 +6,7 @@ import (
 
 	"ktg/internal/graph"
 	"ktg/internal/keywords"
+	"ktg/internal/obs"
 )
 
 // DiverseOptions configures SearchDiverse.
@@ -109,6 +110,8 @@ func SearchDiverse(g graph.Topology, attrs *keywords.Attributes, q Query, opts D
 	perGroup := opts.Options
 	perGroup.ExcludeVertices = append([]graph.Vertex(nil), opts.ExcludeVertices...)
 
+	logger := obs.Or(opts.Logger)
+	logger.Debug("ktg: diverse search start", "n", q.N, "gamma", opts.Gamma)
 	res := &DiverseResult{}
 	for len(res.Groups) < q.N {
 		sub := q
@@ -118,11 +121,7 @@ func SearchDiverse(g graph.Topology, attrs *keywords.Attributes, q Query, opts D
 			return nil, err
 		}
 		res.QueryWidth = r.QueryWidth
-		res.Stats.Nodes += r.Stats.Nodes
-		res.Stats.Pruned += r.Stats.Pruned
-		res.Stats.Filtered += r.Stats.Filtered
-		res.Stats.OracleCalls += r.Stats.OracleCalls
-		res.Stats.Feasible += r.Stats.Feasible
+		res.Stats.Add(r.Stats)
 		if len(r.Groups) > 0 {
 			best := r.Groups[0]
 			res.Groups = append(res.Groups, best)
@@ -138,6 +137,9 @@ func SearchDiverse(g graph.Topology, attrs *keywords.Attributes, q Query, opts D
 		}
 	}
 	res.finishScores(opts.Gamma)
+	logger.Debug("ktg: diverse search done",
+		"groups", len(res.Groups), "score", res.Score, "diversity", res.Diversity,
+		"nodes", res.Stats.Nodes, "feasible", res.Stats.Feasible)
 	return res, nil
 }
 

@@ -2,11 +2,14 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
+	"time"
 
 	"ktg/internal/graph"
 	"ktg/internal/index"
 	"ktg/internal/keywords"
+	"ktg/internal/obs"
 )
 
 // GreedyOptions configures the approximate Greedy search.
@@ -17,6 +20,12 @@ type GreedyOptions struct {
 	// grows at most one group). 0 picks 4×N, which in practice fills
 	// the top-N whenever the constraints are satisfiable at all.
 	Seeds int
+	// Tracer receives compile/explore spans and per-seed events
+	// (nil = off).
+	Tracer obs.Tracer
+	// Logger receives structured start/finish records (nil = obs
+	// package default).
+	Logger *slog.Logger
 }
 
 // Greedy answers a KTG query approximately in a single pass per group:
@@ -36,9 +45,14 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 		return nil, fmt.Errorf("core: attributes cover %d vertices, graph has %d",
 			attrs.NumVertices(), g.NumVertices())
 	}
+	compileStart := time.Now()
 	kq, err := keywords.CompileQuery(attrs, q.Keywords)
 	if err != nil {
 		return nil, err
+	}
+	compileTime := time.Since(compileStart)
+	if opts.Tracer != nil {
+		opts.Tracer.Span(obs.PhaseCompile, compileTime)
 	}
 	oracle := opts.Oracle
 	if oracle == nil {
@@ -70,11 +84,13 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 	})
 
 	var stats Stats
+	stats.CompileTime = compileTime
 	heap := newTopN(q.N)
 	seen := map[string]bool{}
 	pool := make([]cand, 0, len(base))
 	group := make([]graph.Vertex, 0, q.P)
 
+	exploreStart := time.Now()
 	for s := 0; s < len(base) && s < seeds; s++ {
 		group = append(group[:0], base[s].v)
 		covered := kq.Mask(base[s].v).Clone()
@@ -126,5 +142,13 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 		stats.Feasible++
 		heap.Offer(members, covered.Count())
 	}
+	stats.ExploreTime = time.Since(exploreStart)
+	if opts.Tracer != nil {
+		opts.Tracer.Span(obs.PhaseExplore, stats.ExploreTime)
+		opts.Tracer.Event(obs.PhaseExplore, "seeds", stats.Nodes)
+	}
+	obs.Or(opts.Logger).Debug("ktg: greedy search done",
+		"seeds", stats.Nodes, "feasible", stats.Feasible,
+		"oracle_calls", stats.OracleCalls, "explore", stats.ExploreTime)
 	return &Result{Groups: heap.Groups(), QueryWidth: kq.Width(), Stats: stats}, nil
 }

@@ -3,12 +3,24 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"ktg/internal/bitset"
 	"ktg/internal/graph"
 	"ktg/internal/index"
 	"ktg/internal/keywords"
+	"ktg/internal/obs"
+)
+
+// deadlineCheckMask throttles wall-clock deadline checks: the deadline
+// is consulted once every 128 node entries and once every 256 oracle
+// calls inside the k-line filtering loop, so even a single deep or
+// filter-heavy subtree cannot overrun MaxDuration by more than a few
+// hundred distance checks.
+const (
+	deadlineNodeMask   = 127
+	deadlineOracleMask = 255
 )
 
 // Search answers a KTG query exactly with the paper's branch-and-bound:
@@ -28,9 +40,18 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		return nil, fmt.Errorf("core: attributes cover %d vertices, graph has %d",
 			attrs.NumVertices(), g.NumVertices())
 	}
+	logger := obs.Or(opts.Logger)
+	logger.Debug("ktg: search start",
+		"keywords", len(q.Keywords), "p", q.P, "k", q.K, "n", q.N,
+		"ordering", opts.Ordering.String())
+	compileStart := time.Now()
 	kq, err := keywords.CompileQuery(attrs, q.Keywords)
 	if err != nil {
 		return nil, err
+	}
+	compileTime := time.Since(compileStart)
+	if opts.Tracer != nil {
+		opts.Tracer.Span(obs.PhaseCompile, compileTime)
 	}
 	oracle := opts.Oracle
 	if oracle == nil {
@@ -44,11 +65,14 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		pruning:  !opts.DisableKeywordPruning,
 		uncapped: opts.UncappedPruneBound,
 		maxNodes: opts.MaxNodes,
+		tracer:   opts.Tracer,
 		heap:     newTopN(q.N),
 		si:       make([]graph.Vertex, 0, q.P),
 	}
+	s.stats.CompileTime = compileTime
 	if opts.MaxDuration > 0 {
 		s.deadline = time.Now().Add(opts.MaxDuration)
+		s.hasDeadline = true
 	}
 	if s.ordering == OrderVKCDegree {
 		s.deg = make([]int32, g.NumVertices())
@@ -56,13 +80,18 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 			s.deg[v] = int32(g.Degree(graph.Vertex(v)))
 		}
 	}
-	// Per-depth scratch: candidate buffers and covered-set buffers.
+	// Per-depth scratch: candidate buffers, covered-set buffers, and
+	// effort histograms.
 	s.candBuf = make([][]candidate, q.P)
 	s.coverBuf = make([]bitset.Set, q.P+1)
 	for d := range s.coverBuf {
 		s.coverBuf[d] = bitset.New(kq.Width())
 	}
+	s.stats.DepthNodes = make([]int64, q.P+1)
+	s.stats.DepthPruned = make([]int64, q.P+1)
+	s.stats.DepthFiltered = make([]int64, q.P+1)
 
+	candStart := time.Now()
 	// Initial S_R: vertices covering at least one query keyword, minus
 	// explicit exclusions and anyone socially close to a query vertex,
 	// ranked by the configured ordering (VKC w.r.t. the empty group
@@ -96,14 +125,35 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		root = append(root, candidate{v: v, key: int32(kq.CoverageCount(v)), deg: s.degree(v)})
 	}
 	s.sortCandidates(root)
+	s.stats.CandidateTime = time.Since(candStart)
+	if s.tracer != nil {
+		s.tracer.Span(obs.PhaseCandidates, s.stats.CandidateTime)
+		s.tracer.Event(obs.PhaseCandidates, "size", int64(len(root)))
+	}
 
+	exploreStart := time.Now()
 	s.explore(root, s.coverBuf[0], 0)
+	s.stats.ExploreTime = time.Since(exploreStart)
+	if s.tracer != nil {
+		s.tracer.Span(obs.PhaseExplore, s.stats.ExploreTime)
+		for d := 0; d <= q.P; d++ {
+			prefix := "depth" + strconv.Itoa(d) + "."
+			s.tracer.Event(obs.PhaseExplore, prefix+"nodes", s.stats.DepthNodes[d])
+			s.tracer.Event(obs.PhaseExplore, prefix+"pruned", s.stats.DepthPruned[d])
+			s.tracer.Event(obs.PhaseExplore, prefix+"filtered", s.stats.DepthFiltered[d])
+		}
+	}
 
 	res := &Result{
 		Groups:     s.heap.Groups(),
 		QueryWidth: kq.Width(),
 		Stats:      s.stats,
 	}
+	logger.Debug("ktg: search done",
+		"groups", len(res.Groups), "nodes", s.stats.Nodes, "pruned", s.stats.Pruned,
+		"filtered", s.stats.Filtered, "oracle_calls", s.stats.OracleCalls,
+		"feasible", s.stats.Feasible, "explore", s.stats.ExploreTime,
+		"budget_hit", s.budgetHit)
 	if s.budgetHit {
 		return res, fmt.Errorf("search aborted after %d nodes: %w", s.stats.Nodes, ErrBudgetExhausted)
 	}
@@ -117,14 +167,16 @@ type candidate struct {
 }
 
 type searcher struct {
-	q        Query
-	kq       *keywords.Query
-	oracle   index.Oracle
-	ordering Ordering
-	pruning  bool
-	uncapped bool
-	maxNodes int64
-	deadline time.Time
+	q           Query
+	kq          *keywords.Query
+	oracle      index.Oracle
+	ordering    Ordering
+	pruning     bool
+	uncapped    bool
+	maxNodes    int64
+	deadline    time.Time
+	hasDeadline bool
+	tracer      obs.Tracer
 
 	deg      []int32
 	heap     *topN
@@ -149,11 +201,15 @@ func (s *searcher) degree(v graph.Vertex) int32 {
 // every member of S_I.
 func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 	s.stats.Nodes++
+	s.stats.DepthNodes[depth]++
+	if s.tracer != nil {
+		s.tracer.Event(obs.PhaseExplore, "node", int64(depth))
+	}
 	if s.maxNodes > 0 && s.stats.Nodes > s.maxNodes {
 		s.budgetHit = true
 		return
 	}
-	if !s.deadline.IsZero() && s.stats.Nodes&127 == 0 && time.Now().After(s.deadline) {
+	if s.hasDeadline && s.stats.Nodes&deadlineNodeMask == 0 && time.Now().After(s.deadline) {
 		s.budgetHit = true
 		return
 	}
@@ -188,6 +244,7 @@ func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 			}
 			if ub <= s.heap.Threshold() {
 				s.stats.Pruned++
+				s.stats.DepthPruned[depth]++
 				break
 			}
 		}
@@ -196,11 +253,22 @@ func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 		childCover.UnionWith(s.kq.Mask(v.v))
 
 		// k-line filtering (Theorem 3): drop candidates within K of v.
+		// The wall-clock deadline is re-checked here every few hundred
+		// oracle calls: with a slow oracle (bounded BFS on a large
+		// graph) a single node's filtering pass can dwarf the per-node
+		// budget check, and before this loop-level check a deep slow
+		// subtree could overrun MaxDuration arbitrarily.
 		child := s.candBuf[depth][:0]
 		for _, u := range cands[i+1:] {
 			s.stats.OracleCalls++
+			if s.hasDeadline && s.stats.OracleCalls&deadlineOracleMask == 0 && time.Now().After(s.deadline) {
+				s.budgetHit = true
+				s.candBuf[depth] = child
+				return
+			}
 			if s.oracle.Within(v.v, u.v, s.q.K) {
 				s.stats.Filtered++
+				s.stats.DepthFiltered[depth]++
 				continue
 			}
 			if s.ordering != OrderQKC {

@@ -30,10 +30,10 @@ func runAblation(e *Env) (*Report, error) {
 
 	type variant struct {
 		name string
-		run  func(q core.Query) error
+		run  func(q core.Query) (core.Stats, error)
 	}
-	base := func(mutate func(*core.Options)) func(q core.Query) error {
-		return func(q core.Query) error {
+	base := func(mutate func(*core.Options)) func(q core.Query) (core.Stats, error) {
+		return func(q core.Query) (core.Stats, error) {
 			opts := core.Options{
 				Ordering:           core.OrderVKCDegree,
 				Oracle:             d.NLRNL,
@@ -44,8 +44,11 @@ func runAblation(e *Env) (*Report, error) {
 			if mutate != nil {
 				mutate(&opts)
 			}
-			_, err := core.Search(d.DS.Graph, d.DS.Attrs, q, opts)
-			return err
+			r, err := core.Search(d.DS.Graph, d.DS.Attrs, q, opts)
+			if r == nil {
+				return core.Stats{}, err
+			}
+			return r.Stats, err
 		}
 	}
 	variants := []variant{
@@ -57,9 +60,12 @@ func runAblation(e *Env) (*Report, error) {
 		{"oracle-BFS", base(func(o *core.Options) { o.Oracle = index.NewBFSOracle(d.DS.Graph) })},
 		{"oracle-NL", base(func(o *core.Options) { o.Oracle = d.NL })},
 		{"oracle-PLL", base(func(o *core.Options) { o.Oracle = pll })},
-		{"greedy-approx", func(q core.Query) error {
-			_, err := core.Greedy(d.DS.Graph, d.DS.Attrs, q, core.GreedyOptions{Oracle: d.NLRNL})
-			return err
+		{"greedy-approx", func(q core.Query) (core.Stats, error) {
+			r, err := core.Greedy(d.DS.Graph, d.DS.Attrs, q, core.GreedyOptions{Oracle: d.NLRNL})
+			if r == nil {
+				return core.Stats{}, err
+			}
+			return r.Stats, err
 		}},
 	}
 
@@ -67,11 +73,13 @@ func runAblation(e *Env) (*Report, error) {
 	for _, v := range variants {
 		durations := make([]time.Duration, 0, len(batch))
 		exhausted := 0
+		var effort Effort
 		for _, qk := range batch {
 			q := core.Query{Keywords: qk, P: prm.P, K: prm.K, N: prm.N}
 			start := time.Now()
-			err := v.run(q)
+			stats, err := v.run(q)
 			durations = append(durations, time.Since(start))
+			effort.add(stats)
 			if err != nil {
 				if isBudget(err) {
 					exhausted++
@@ -86,6 +94,7 @@ func runAblation(e *Env) (*Report, error) {
 			Param:      "-",
 			Algo:       v.name,
 			Latency:    workload.Summarize(durations),
+			Effort:     effort,
 			Exhausted:  exhausted,
 		})
 	}

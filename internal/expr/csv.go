@@ -9,13 +9,15 @@ import (
 
 // WriteCSV emits measurement rows as CSV for downstream plotting:
 // experiment, dataset, param, value, algo, samples, mean_us, median_us,
-// p95_us, max_us, exhausted, space_bytes, build_us.
+// p95_us, max_us, exhausted, nodes, pruned, filtered, oracle_calls,
+// space_bytes, build_us.
 func WriteCSV(w io.Writer, rows []Row) error {
 	cw := csv.NewWriter(w)
 	header := []string{
 		"experiment", "dataset", "param", "value", "algo",
 		"samples", "mean_us", "median_us", "p95_us", "max_us",
-		"exhausted", "space_bytes", "build_us",
+		"exhausted", "nodes", "pruned", "filtered", "oracle_calls",
+		"space_bytes", "build_us",
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("expr: writing CSV header: %w", err)
@@ -33,6 +35,10 @@ func WriteCSV(w io.Writer, rows []Row) error {
 			strconv.FormatInt(r.Latency.P95.Microseconds(), 10),
 			strconv.FormatInt(r.Latency.Max.Microseconds(), 10),
 			strconv.Itoa(r.Exhausted),
+			strconv.FormatInt(r.Effort.Nodes, 10),
+			strconv.FormatInt(r.Effort.Pruned, 10),
+			strconv.FormatInt(r.Effort.Filtered, 10),
+			strconv.FormatInt(r.Effort.OracleCalls, 10),
 			strconv.FormatInt(r.Space, 10),
 			strconv.FormatInt(r.Build.Microseconds(), 10),
 		}

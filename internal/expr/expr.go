@@ -127,38 +127,62 @@ type Row struct {
 	// Exhausted counts queries that hit the node budget (their partial
 	// latency still enters the aggregate).
 	Exhausted int
+	// Effort totals the search work across the point's query batch, so
+	// perf trajectories can track nodes/prunes as well as wall clock.
+	Effort Effort
 	// Space and Build are set by the index experiments (Figure 9).
 	Space int64
 	Build time.Duration
 }
 
+// Effort aggregates search-effort counters over a measured batch.
+type Effort struct {
+	Nodes       int64
+	Pruned      int64
+	Filtered    int64
+	OracleCalls int64
+	Feasible    int64
+}
+
+// add accumulates one search's stats.
+func (e *Effort) add(s core.Stats) {
+	e.Nodes += s.Nodes
+	e.Pruned += s.Pruned
+	e.Filtered += s.Filtered
+	e.OracleCalls += s.OracleCalls
+	e.Feasible += s.Feasible
+}
+
 // runPoint measures one (dataset, algo, params) point over a fixed query
 // batch, so every algorithm sees identical queries.
-func (e *Env) runPoint(d *Data, algo Algo, prm workload.Params, batch [][]keywords.ID) (workload.Latency, int, error) {
+func (e *Env) runPoint(d *Data, algo Algo, prm workload.Params, batch [][]keywords.ID) (workload.Latency, Effort, int, error) {
 	durations := make([]time.Duration, 0, len(batch))
 	exhausted := 0
+	var effort Effort
 	for _, qk := range batch {
 		q := core.Query{Keywords: qk, P: prm.P, K: prm.K, N: prm.N}
 		start := time.Now()
-		err := e.runOne(d, algo, q)
+		stats, err := e.runOne(d, algo, q)
 		durations = append(durations, time.Since(start))
+		effort.add(stats)
 		if err != nil {
 			if isBudget(err) {
 				exhausted++
 				continue
 			}
-			return workload.Latency{}, 0, err
+			return workload.Latency{}, Effort{}, 0, err
 		}
 	}
-	return workload.Summarize(durations), exhausted, nil
+	return workload.Summarize(durations), effort, exhausted, nil
 }
 
 func isBudget(err error) bool {
 	return errors.Is(err, core.ErrBudgetExhausted)
 }
 
-// runOne executes a single query under the named variant.
-func (e *Env) runOne(d *Data, algo Algo, q core.Query) error {
+// runOne executes a single query under the named variant, returning the
+// search's effort stats (zero on hard errors).
+func (e *Env) runOne(d *Data, algo Algo, q core.Query) (core.Stats, error) {
 	g := d.DS.Graph
 	attrs := d.DS.Attrs
 	opts := core.Options{MaxNodes: e.MaxNodes, MaxDuration: e.MaxTime, UncappedPruneBound: e.PaperBound}
@@ -179,7 +203,7 @@ func (e *Env) runOne(d *Data, algo Algo, q core.Query) error {
 		opts.Ordering = core.OrderVKCDegree
 		opts.Oracle = index.NewBFSOracle(g)
 	case AlgoDKTGGreedy:
-		_, err := core.SearchDiverse(g, attrs, q, core.DiverseOptions{
+		dr, err := core.SearchDiverse(g, attrs, q, core.DiverseOptions{
 			Options: core.Options{
 				Ordering:           core.OrderVKCDegree,
 				Oracle:             d.NLRNL,
@@ -189,12 +213,18 @@ func (e *Env) runOne(d *Data, algo Algo, q core.Query) error {
 			},
 			Gamma: 0.5,
 		})
-		return err
+		if dr == nil {
+			return core.Stats{}, err
+		}
+		return dr.Stats, err
 	default:
-		return fmt.Errorf("expr: unknown algorithm %q", algo)
+		return core.Stats{}, fmt.Errorf("expr: unknown algorithm %q", algo)
 	}
-	_, err := core.Search(g, attrs, q, opts)
-	return err
+	r, err := core.Search(g, attrs, q, opts)
+	if r == nil {
+		return core.Stats{}, err
+	}
+	return r.Stats, err
 }
 
 // sweep measures all algorithms over one swept parameter on the given
@@ -213,7 +243,7 @@ func (e *Env) sweep(expID, param string, values []int, datasets []string, algos 
 			}
 			batch := d.Gen.Batch(e.Queries, prm.W)
 			for _, algo := range algos {
-				lat, exhausted, err := e.runPoint(d, algo, prm, batch)
+				lat, effort, exhausted, err := e.runPoint(d, algo, prm, batch)
 				if err != nil {
 					return nil, fmt.Errorf("expr: %s %s %s=%d %s: %w",
 						expID, dsName, param, val, algo, err)
@@ -225,6 +255,7 @@ func (e *Env) sweep(expID, param string, values []int, datasets []string, algos 
 					Value:      val,
 					Algo:       string(algo),
 					Latency:    lat,
+					Effort:     effort,
 					Exhausted:  exhausted,
 				})
 				if e.Progress != nil {

@@ -82,15 +82,18 @@ func TestRunPointAllAlgos(t *testing.T) {
 	prm := workload.Params{P: 3, K: 1, W: 4, N: 2}
 	batch := d.Gen.Batch(2, prm.W)
 	for _, algo := range []Algo{AlgoQKCNLRNL, AlgoVKCNL, AlgoVKCNLRNL, AlgoVKCDEGNLRNL, AlgoVKCDEGBFS, AlgoDKTGGreedy} {
-		lat, _, err := e.runPoint(d, algo, prm, batch)
+		lat, effort, _, err := e.runPoint(d, algo, prm, batch)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		if lat.Samples != 2 {
 			t.Errorf("%s: %d samples, want 2", algo, lat.Samples)
 		}
+		if effort.Nodes == 0 {
+			t.Errorf("%s: effort.Nodes = 0, want > 0", algo)
+		}
 	}
-	if _, _, err := e.runPoint(d, Algo("bogus"), prm, batch); err == nil {
+	if _, _, _, err := e.runPoint(d, Algo("bogus"), prm, batch); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }

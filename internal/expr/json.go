@@ -1,0 +1,82 @@
+package expr
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BenchRow is one machine-readable measurement: the JSON shape written
+// into BENCH_<experiment>.json files by ktgbench -json, consumed by
+// future PRs to track the perf trajectory. ns/op is the mean per-query
+// latency; nodes/prunes are per-query means over the batch so numbers
+// stay comparable when the batch size changes.
+type BenchRow struct {
+	Experiment  string  `json:"experiment"`
+	Dataset     string  `json:"dataset"`
+	Param       string  `json:"param"`
+	Value       int     `json:"value"`
+	Algo        string  `json:"algo"`
+	Samples     int     `json:"samples"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	P95Ns       int64   `json:"p95_ns"`
+	Nodes       float64 `json:"nodes_per_op"`
+	Pruned      float64 `json:"prunes_per_op"`
+	Filtered    float64 `json:"filtered_per_op"`
+	OracleCalls float64 `json:"oracle_calls_per_op"`
+	Exhausted   int     `json:"exhausted"`
+	SpaceBytes  int64   `json:"space_bytes,omitempty"`
+	BuildNs     int64   `json:"build_ns,omitempty"`
+}
+
+// BenchReport is the top-level object of a BENCH_*.json file.
+type BenchReport struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Scale      float64    `json:"scale"`
+	Queries    int        `json:"queries"`
+	Rows       []BenchRow `json:"rows"`
+}
+
+// BenchJSON converts a finished report into its machine-readable form.
+func BenchJSON(e *Env, rep *Report) BenchReport {
+	out := BenchReport{
+		Experiment: rep.ID,
+		Title:      rep.Title,
+		Scale:      e.Scale,
+		Queries:    e.Queries,
+	}
+	for _, r := range rep.Rows {
+		samples := r.Latency.Samples
+		perOp := func(total int64) float64 {
+			if samples == 0 {
+				return 0
+			}
+			return float64(total) / float64(samples)
+		}
+		out.Rows = append(out.Rows, BenchRow{
+			Experiment:  r.Experiment,
+			Dataset:     r.Dataset,
+			Param:       r.Param,
+			Value:       r.Value,
+			Algo:        r.Algo,
+			Samples:     samples,
+			NsPerOp:     r.Latency.Mean.Nanoseconds(),
+			P95Ns:       r.Latency.P95.Nanoseconds(),
+			Nodes:       perOp(r.Effort.Nodes),
+			Pruned:      perOp(r.Effort.Pruned),
+			Filtered:    perOp(r.Effort.Filtered),
+			OracleCalls: perOp(r.Effort.OracleCalls),
+			Exhausted:   r.Exhausted,
+			SpaceBytes:  r.Space,
+			BuildNs:     r.Build.Nanoseconds(),
+		})
+	}
+	return out
+}
+
+// WriteBenchJSON renders the report as indented JSON.
+func WriteBenchJSON(w io.Writer, e *Env, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BenchJSON(e, rep))
+}

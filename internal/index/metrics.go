@@ -1,0 +1,19 @@
+package index
+
+import "ktg/internal/obs"
+
+// Default-registry metrics shared by the index builders and the binary
+// (de)serializers; they surface on /metrics and /debug/vars whenever a
+// debug server is running.
+var (
+	mIndexBuilds = obs.Default().Counter(
+		"ktg_index_builds_total", "distance indexes constructed (NL + NLRNL)")
+	mIndexBuildNanos = obs.Default().Histogram(
+		"ktg_index_build_ns", "wall-clock index construction time in nanoseconds")
+	mIndexSaves = obs.Default().Counter(
+		"ktg_index_serialize_total", "index snapshots written")
+	mIndexLoads = obs.Default().Counter(
+		"ktg_index_deserialize_total", "index snapshots read")
+	mIndexSerializeNanos = obs.Default().Histogram(
+		"ktg_index_serialize_ns", "wall-clock index save/load time in nanoseconds")
+)

@@ -2,9 +2,12 @@ package index
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
+	"time"
 
 	"ktg/internal/graph"
+	"ktg/internal/obs"
 )
 
 // NL is the h-hop neighbors list index of Section V-A. For every vertex
@@ -20,6 +23,7 @@ type NL struct {
 	g      graph.Topology
 	h      int
 	levels [][][]graph.Vertex // levels[v][d-1]: sorted vertices at distance d
+	tracer obs.Tracer
 
 	// Scratch for expansion beyond h.
 	stamp    []uint32
@@ -37,6 +41,11 @@ type NLOptions struct {
 	// HistogramSample is the number of BFS sources used when H = 0
 	// (default 64).
 	HistogramSample int
+	// Tracer receives an index-build span and size events; the index
+	// keeps it for serialize spans too (nil = off).
+	Tracer obs.Tracer
+	// Logger receives a structured build record (nil = obs default).
+	Logger *slog.Logger
 }
 
 // BuildNL constructs the NL index for g.
@@ -46,6 +55,7 @@ func BuildNL(g graph.Topology, opts NLOptions) (*NL, error) {
 	if h < 0 {
 		return nil, fmt.Errorf("index: NL h must be non-negative, got %d", h)
 	}
+	start := time.Now()
 	if h == 0 {
 		sample := opts.HistogramSample
 		if sample <= 0 {
@@ -58,6 +68,7 @@ func BuildNL(g graph.Topology, opts NLOptions) (*NL, error) {
 		h:      h,
 		levels: make([][][]graph.Vertex, n),
 		stamp:  make([]uint32, n),
+		tracer: opts.Tracer,
 	}
 	tr := graph.NewTraverser(n)
 	for v := 0; v < n; v++ {
@@ -67,6 +78,16 @@ func BuildNL(g graph.Topology, opts NLOptions) (*NL, error) {
 		}
 		nl.levels[v] = levels
 	}
+	elapsed := time.Since(start)
+	if opts.Tracer != nil {
+		opts.Tracer.Span(obs.PhaseIndexBuild, elapsed)
+		opts.Tracer.Event(obs.PhaseIndexBuild, "nl.entries", nl.Entries())
+		opts.Tracer.Event(obs.PhaseIndexBuild, "nl.h", int64(h))
+	}
+	obs.Or(opts.Logger).Debug("ktg: NL index built",
+		"vertices", n, "h", h, "entries", nl.Entries(), "dur", elapsed)
+	mIndexBuilds.Inc()
+	mIndexBuildNanos.Observe(elapsed.Nanoseconds())
 	return nl, nil
 }
 

@@ -1,7 +1,11 @@
 package index
 
 import (
+	"log/slog"
+	"time"
+
 	"ktg/internal/graph"
+	"ktg/internal/obs"
 )
 
 // NLRNL is the (c-1)-hop neighbors list + reverse c-hop neighbors list
@@ -22,22 +26,39 @@ import (
 // distance vector can have changed, identified from the BFS distance
 // fields of the edge's endpoints.
 type NLRNL struct {
-	g    *graph.Mutable
-	comp []int32
-	c    []int32
-	fwd  [][][]graph.Vertex // fwd[a][d-1]: ids > a at distance d (d = 1..c-1)
-	rev  [][][]graph.Vertex // rev[a][j]:   ids > a at distance c+1+j
+	g      *graph.Mutable
+	comp   []int32
+	c      []int32
+	fwd    [][][]graph.Vertex // fwd[a][d-1]: ids > a at distance d (d = 1..c-1)
+	rev    [][][]graph.Vertex // rev[a][j]:   ids > a at distance c+1+j
+	tracer obs.Tracer
+}
+
+// NLRNLOptions configures BuildNLRNLWith.
+type NLRNLOptions struct {
+	// Tracer receives an index-build span and size events; the index
+	// keeps it for serialize spans too (nil = off).
+	Tracer obs.Tracer
+	// Logger receives a structured build record (nil = obs default).
+	Logger *slog.Logger
 }
 
 // BuildNLRNL constructs the NLRNL index from any topology. The index
 // keeps its own mutable copy of the graph for dynamic maintenance.
 func BuildNLRNL(g graph.Topology) (*NLRNL, error) {
+	return BuildNLRNLWith(g, NLRNLOptions{})
+}
+
+// BuildNLRNLWith is BuildNLRNL with observability hooks.
+func BuildNLRNLWith(g graph.Topology, opts NLRNLOptions) (*NLRNL, error) {
+	start := time.Now()
 	n := g.NumVertices()
 	x := &NLRNL{
-		g:   graph.MutableFrom(g),
-		c:   make([]int32, n),
-		fwd: make([][][]graph.Vertex, n),
-		rev: make([][][]graph.Vertex, n),
+		g:      graph.MutableFrom(g),
+		c:      make([]int32, n),
+		fwd:    make([][][]graph.Vertex, n),
+		rev:    make([][][]graph.Vertex, n),
+		tracer: opts.Tracer,
 	}
 	x.comp, _ = graph.Components(x.g)
 	tr := graph.NewTraverser(n)
@@ -45,6 +66,15 @@ func BuildNLRNL(g graph.Topology) (*NLRNL, error) {
 	for a := 0; a < n; a++ {
 		x.buildVertex(graph.Vertex(a), tr, dist)
 	}
+	elapsed := time.Since(start)
+	if opts.Tracer != nil {
+		opts.Tracer.Span(obs.PhaseIndexBuild, elapsed)
+		opts.Tracer.Event(obs.PhaseIndexBuild, "nlrnl.entries", x.Entries())
+	}
+	obs.Or(opts.Logger).Debug("ktg: NLRNL index built",
+		"vertices", n, "entries", x.Entries(), "dur", elapsed)
+	mIndexBuilds.Inc()
+	mIndexBuildNanos.Observe(elapsed.Nanoseconds())
 	return x, nil
 }
 

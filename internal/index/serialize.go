@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"ktg/internal/graph"
+	"ktg/internal/obs"
 )
 
 // Binary layouts. Both formats begin with a distinct magic string and a
@@ -82,9 +84,25 @@ func (rd *reader) list(maxVertex uint32) []graph.Vertex {
 	return l
 }
 
+// traceSerialize records one save/load on the serialize metrics and, if
+// a tracer is attached, emits a serialize-phase span. Used via defer.
+func traceSerialize(tr obs.Tracer, start time.Time, load bool) {
+	d := time.Since(start)
+	if tr != nil {
+		tr.Span(obs.PhaseSerialize, d)
+	}
+	if load {
+		mIndexLoads.Inc()
+	} else {
+		mIndexSaves.Inc()
+	}
+	mIndexSerializeNanos.Observe(d.Nanoseconds())
+}
+
 // Save serializes the NL index (lists and h; the graph itself is not
 // embedded — supply it again at load time).
 func (nl *NL) Save(w io.Writer) error {
+	defer traceSerialize(nl.tracer, time.Now(), false)
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(nlMagic); err != nil {
 		return err
@@ -107,6 +125,7 @@ func (nl *NL) Save(w io.Writer) error {
 // ReadNL loads an NL index written by Save. g must be the topology the
 // index was built from (it is consulted for expansions beyond h).
 func ReadNL(r io.Reader, g graph.Topology) (*NL, error) {
+	defer traceSerialize(nil, time.Now(), true)
 	br := bufio.NewReader(r)
 	if err := expectMagic(br, nlMagic); err != nil {
 		return nil, err
@@ -149,6 +168,7 @@ func ReadNL(r io.Reader, g graph.Topology) (*NL, error) {
 // Save serializes the NLRNL index (component labels, c values, and
 // both list families; the graph itself is not embedded).
 func (x *NLRNL) Save(w io.Writer) error {
+	defer traceSerialize(x.tracer, time.Now(), false)
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(nlrnlMagic); err != nil {
 		return err
@@ -178,6 +198,7 @@ func (x *NLRNL) Save(w io.Writer) error {
 // topology the index was built from; the loaded index copies it so that
 // dynamic updates remain available.
 func ReadNLRNL(r io.Reader, g graph.Topology) (*NLRNL, error) {
+	defer traceSerialize(nil, time.Now(), true)
 	br := bufio.NewReader(r)
 	if err := expectMagic(br, nlrnlMagic); err != nil {
 		return nil, err

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux returns an http.ServeMux exposing the observability surface
+// for the given registry:
+//
+//	/metrics      — Prometheus text (?format=json for JSON)
+//	/debug/vars   — expvar JSON (includes the registry once published)
+//	/debug/pprof/ — the standard pprof profiles
+func DebugMux(reg *Registry) *http.ServeMux {
+	if reg == defaultRegistry {
+		PublishExpvar()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "ktg debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// StartDebugServer binds addr (e.g. ":6060") and serves DebugMux for
+// the default registry in a background goroutine. It returns the bound
+// listener address (useful with ":0") and a shutdown func. The three
+// observable cmd/ tools share this behind their -debug-addr flag.
+func StartDebugServer(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(defaultRegistry), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

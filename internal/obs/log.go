@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// nopHandler is a slog.Handler that drops everything before any
+// formatting work happens. (slog.DiscardHandler exists in newer
+// toolchains; this keeps the module's declared Go version sufficient.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nopLogger = slog.New(nopHandler{})
+
+// defaultLogger holds the package-wide logger; no-op until SetLogger.
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() { defaultLogger.Store(nopLogger) }
+
+// NopLogger returns a logger that discards every record without
+// formatting it. Logger() returns it until SetLogger is called.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// Logger returns the package default logger. It is never nil; the
+// default discards everything, so library code can log unconditionally.
+func Logger() *slog.Logger { return defaultLogger.Load() }
+
+// SetLogger installs l as the package default logger for code that was
+// not handed a per-Network or per-search logger. nil restores the
+// no-op default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = nopLogger
+	}
+	defaultLogger.Store(l)
+}
+
+// Or returns l if non-nil, else the package default. Library entry
+// points use it to resolve injected loggers.
+func Or(l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	return Logger()
+}
+
+// NewTextLogger builds a slog text logger at the given level — the
+// standard logger the cmd/ tools install behind their -v flags.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

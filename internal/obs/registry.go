@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. All methods are
+// lock-free and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be non-negative).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an int64 metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative allowed).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1),
+// which spans the full int64 range — wide enough for nanosecond timings
+// and node counts alike.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket (power-of-two) histogram of int64
+// observations. Observe is a single atomic add into one bucket plus two
+// atomic adds for count/sum, so it is safe on hot paths.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to bucket 0.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	if v > 1 {
+		i = bits.Len64(uint64(v - 1)) // smallest i with v <= 2^i
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from
+// the bucket boundaries: the smallest power-of-two boundary below which
+// at least q of the observations fall.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i >= 63 {
+				return 1 << 62
+			}
+			return 1 << uint(i)
+		}
+	}
+	return 1 << 62
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them as Prometheus text or
+// JSON. Metric registration is idempotent: asking twice for the same
+// name returns the same metric, so package-level metric variables in
+// different files can share the registry freely.
+type Registry struct {
+	mu      sync.RWMutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name, creating it with
+// the given help text on first use. Panics if the name is already taken
+// by a different metric kind.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.lookup(name, help, kindCounter)
+	return m.c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.lookup(name, help, kindGauge)
+	return m.g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	m := r.lookup(name, help, kindHistogram)
+	return m.h
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+	r.mu.RLock()
+	m, ok := r.byName[name]
+	r.mu.RUnlock()
+	if ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok = r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m = &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// snapshotMetrics returns the registered metrics sorted by name.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.RLock()
+	ms := append([]*metric(nil), r.ordered...)
+	r.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (histograms as cumulative le-labeled buckets).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshotMetrics() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.g.Value())
+		case kindHistogram:
+			err = writePrometheusHistogram(w, m.name, m.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePrometheusHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue // keep the exposition sparse; cumulative counts stay correct
+		}
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, int64(1)<<uint(i), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, h.Count(), name, h.Sum(), name, h.Count())
+	return err
+}
+
+// Snapshot returns all metrics as a plain map for JSON/expvar
+// exposition. Histograms appear as {count, sum, mean, p50, p99}.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.c.Value()
+		case kindGauge:
+			out[m.name] = m.g.Value()
+		case kindHistogram:
+			out[m.name] = map[string]any{
+				"count": m.h.Count(),
+				"sum":   m.h.Sum(),
+				"mean":  m.h.Mean(),
+				"p50":   m.h.Quantile(0.50),
+				"p99":   m.h.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text
+// by default, JSON when the request asks for it (?format=json or an
+// Accept: application/json header).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" || req.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+}

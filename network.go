@@ -3,6 +3,7 @@ package ktg
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 
 	"ktg/internal/gen"
@@ -17,10 +18,22 @@ type Vertex = uint32
 // Network is an immutable attributed social network: an undirected
 // simple graph plus a keyword profile per vertex.
 type Network struct {
-	g     *graph.Graph
-	attrs *keywords.Attributes
-	name  string
+	g      *graph.Graph
+	attrs  *keywords.Attributes
+	name   string
+	logger *slog.Logger
+	tracer Tracer
 }
+
+// SetLogger injects a structured logger used by every search and index
+// build on this network unless a per-search SearchOptions.Logger
+// overrides it. nil restores the package default (set with
+// SetDefaultLogger; silent out of the box).
+func (n *Network) SetLogger(l *slog.Logger) { n.logger = l }
+
+// SetTracer injects a tracer used by every index build on this network
+// and by searches whose SearchOptions.Tracer is nil. nil disables.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
 
 // Name returns the network's label ("" unless set by a loader/generator).
 func (n *Network) Name() string { return n.name }

@@ -1,6 +1,8 @@
 package ktg
 
 import (
+	"errors"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -89,6 +91,13 @@ type SearchOptions struct {
 	// must not review them. Every candidate within Tenuity hops of a
 	// query vertex is removed before the search.
 	QueryVertices []Vertex
+	// Tracer receives phase spans (compile, candidate build, explore)
+	// and sampled explore events for this search. nil disables tracing
+	// at near-zero hot-path cost.
+	Tracer Tracer
+	// Logger overrides the Network and package-default loggers for this
+	// search. nil inherits.
+	Logger *slog.Logger
 }
 
 // ErrBudgetExhausted reports that MaxNodes was reached; the returned
@@ -106,16 +115,32 @@ type Group struct {
 	QKC float64
 }
 
-// SearchStats reports search effort.
+// SearchStats reports search effort. The JSON field names are stable;
+// ktgquery -stats-json emits this struct verbatim.
 type SearchStats struct {
 	// Nodes is the number of branch-and-bound nodes explored.
-	Nodes int64
+	Nodes int64 `json:"nodes"`
 	// Pruned counts subtrees cut by keyword pruning.
-	Pruned int64
+	Pruned int64 `json:"pruned"`
 	// Filtered counts candidates removed by k-line filtering.
-	Filtered int64
+	Filtered int64 `json:"filtered"`
 	// DistanceChecks counts social-distance queries.
-	DistanceChecks int64
+	DistanceChecks int64 `json:"distance_checks"`
+	// Feasible counts complete size-p groups evaluated.
+	Feasible int64 `json:"feasible"`
+	// CompileTime, CandidateTime, and ExploreTime break the search's
+	// wall clock into its phases: query keyword compilation, initial
+	// candidate-set construction, and branch-and-bound exploration.
+	CompileTime   time.Duration `json:"compile_ns"`
+	CandidateTime time.Duration `json:"candidate_ns"`
+	ExploreTime   time.Duration `json:"explore_ns"`
+	// DepthNodes, DepthPruned, and DepthFiltered histogram the search
+	// effort by depth: index d counts events at nodes whose
+	// intermediate group holds d members (index GroupSize marks
+	// complete groups). Empty for algorithms without a depth notion.
+	DepthNodes    []int64 `json:"depth_nodes,omitempty"`
+	DepthPruned   []int64 `json:"depth_pruned,omitempty"`
+	DepthFiltered []int64 `json:"depth_filtered,omitempty"`
 }
 
 // Result is the output of a KTG search.
@@ -135,6 +160,7 @@ func (n *Network) Search(q Query, opts SearchOptions) (*Result, error) {
 		res *core.Result
 		err error
 	)
+	start := time.Now()
 	if opts.Algorithm == AlgBruteForce {
 		res, err = core.BruteForce(n.g, n.attrs, cq, copts)
 	} else {
@@ -143,6 +169,7 @@ func (n *Network) Search(q Query, opts SearchOptions) (*Result, error) {
 	if res == nil {
 		return nil, err
 	}
+	recordSearch(time.Since(start), res.Stats, errors.Is(err, ErrBudgetExhausted))
 	return n.lift(res, q.Keywords), err
 }
 
@@ -176,6 +203,7 @@ type DiverseResult struct {
 // removed from the pool, so the returned groups never share members.
 func (n *Network) SearchDiverse(q Query, opts DiverseOptions) (*DiverseResult, error) {
 	cq, copts := n.lower(q, opts.SearchOptions)
+	start := time.Now()
 	dr, err := core.SearchDiverse(n.g, n.attrs, cq, core.DiverseOptions{
 		Options: copts,
 		Gamma:   opts.Gamma,
@@ -183,6 +211,7 @@ func (n *Network) SearchDiverse(q Query, opts DiverseOptions) (*DiverseResult, e
 	if dr == nil {
 		return nil, err
 	}
+	recordSearch(time.Since(start), dr.Stats, errors.Is(err, ErrBudgetExhausted))
 	out := &DiverseResult{
 		Diversity: dr.Diversity,
 		MinQKC:    dr.MinQKC,
@@ -204,14 +233,16 @@ func (n *Network) SearchDiverse(q Query, opts DiverseOptions) (*DiverseResult, e
 // too slow and a small coverage gap is acceptable.
 func (n *Network) SearchGreedy(q Query, idx DistanceIndex, seeds int) (*Result, error) {
 	cq, _ := n.lower(q, SearchOptions{})
-	var oracle = core.GreedyOptions{Seeds: seeds}
+	var oracle = core.GreedyOptions{Seeds: seeds, Logger: n.logger}
 	if idx != nil {
 		oracle.Oracle = idx
 	}
+	start := time.Now()
 	res, err := core.Greedy(n.g, n.attrs, cq, oracle)
 	if err != nil {
 		return nil, err
 	}
+	recordSearch(time.Since(start), res.Stats, false)
 	return n.lift(res, q.Keywords), nil
 }
 
@@ -258,6 +289,17 @@ func (n *Network) lower(q Query, opts SearchOptions) (core.Query, core.Options) 
 	if opts.Index != nil {
 		copts.Oracle = opts.Index
 	}
+	if opts.Tracer != nil {
+		copts.Tracer = opts.Tracer
+	} else if n.tracer != nil {
+		copts.Tracer = n.tracer
+	}
+	// Logger resolution: per-search beats per-Network beats the package
+	// default (applied inside core via obs.Or).
+	copts.Logger = opts.Logger
+	if copts.Logger == nil {
+		copts.Logger = n.logger
+	}
 	return cq, copts
 }
 
@@ -298,6 +340,13 @@ func liftStats(s core.Stats) SearchStats {
 		Pruned:         s.Pruned,
 		Filtered:       s.Filtered,
 		DistanceChecks: s.OracleCalls,
+		Feasible:       s.Feasible,
+		CompileTime:    s.CompileTime,
+		CandidateTime:  s.CandidateTime,
+		ExploreTime:    s.ExploreTime,
+		DepthNodes:     append([]int64(nil), s.DepthNodes...),
+		DepthPruned:    append([]int64(nil), s.DepthPruned...),
+		DepthFiltered:  append([]int64(nil), s.DepthFiltered...),
 	}
 }
 

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Repo verification gate: build everything, vet, and run the full test
+# suite under the race detector. CI and pre-commit both run this.
+set -eux
+
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go test -race ./...
