@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ktg"
+	"ktg/internal/cliutil"
 	"ktg/internal/expr"
 )
 
@@ -45,6 +46,13 @@ func main() {
 		}
 		return
 	}
+
+	expIDs := []string{"all"}
+	for _, e := range expr.All() {
+		expIDs = append(expIDs, e.ID)
+	}
+	cliutil.MustChoice("ktgbench", "exp", *exp, expIDs...)
+	cliutil.MustScale("ktgbench", *scale)
 
 	if *dbgAddr != "" {
 		addr, _, err := ktg.StartDebugServer(*dbgAddr)
@@ -110,10 +118,6 @@ func main() {
 		}
 		return
 	}
-	e, ok := expr.Find(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ktgbench: unknown experiment %q (use -list)\n", *exp)
-		os.Exit(2)
-	}
+	e, _ := expr.Find(*exp)
 	run(e)
 }

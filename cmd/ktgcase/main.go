@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"ktg/internal/cliutil"
 	"ktg/internal/expr"
 )
 
@@ -19,6 +20,7 @@ func main() {
 		seed  = flag.Int64("seed", 7, "workload seed")
 	)
 	flag.Parse()
+	cliutil.MustScale("ktgcase", *scale)
 
 	env := expr.NewEnv(*scale, 1, *seed)
 	e, _ := expr.Find("fig8")

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"ktg"
+	"ktg/internal/cliutil"
 )
 
 func main() {
@@ -25,6 +26,8 @@ func main() {
 		out    = flag.String("out", "", "output path prefix (required)")
 	)
 	flag.Parse()
+	cliutil.MustChoice("ktggen", "preset", *preset, ktg.Presets()...)
+	cliutil.MustScale("ktggen", *scale)
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "ktggen: -out is required")
 		flag.Usage()

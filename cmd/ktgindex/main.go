@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ktg"
+	"ktg/internal/cliutil"
 )
 
 func main() {
@@ -32,6 +33,12 @@ func main() {
 		debug  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while building")
 	)
 	flag.Parse()
+
+	cliutil.MustChoice("ktgindex", "kind", *kind, "nl", "nlrnl", "both")
+	if *preset != "" {
+		cliutil.MustChoice("ktgindex", "preset", *preset, ktg.Presets()...)
+		cliutil.MustScale("ktgindex", *scale)
+	}
 
 	if *debug != "" {
 		addr, _, err := ktg.StartDebugServer(*debug)

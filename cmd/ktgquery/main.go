@@ -14,19 +14,26 @@
 // stdout. -debug-addr serves /metrics, /debug/vars, and /debug/pprof/
 // for the lifetime of the process (the process stays up after answering
 // so the endpoints can be scraped; interrupt to exit).
+//
+// Ctrl-C during a long search cancels it cleanly: the best groups found
+// so far are printed with a warning instead of discarding the work.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ktg"
+	"ktg/internal/cliutil"
 	"ktg/internal/obs"
 )
 
@@ -51,6 +58,19 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address and stay up after answering")
 	)
 	flag.Parse()
+
+	cliutil.MustChoice("ktgquery", "alg", *alg, "vkc-deg", "vkc", "qkc", "brute")
+	cliutil.MustChoice("ktgquery", "index", *indexKind, "bfs", "nl", "nlrnl")
+	if *preset != "" {
+		cliutil.MustChoice("ktgquery", "preset", *preset, ktg.Presets()...)
+		cliutil.MustScale("ktgquery", *scale)
+	}
+
+	// Ctrl-C (or SIGTERM) cancels the running search via the context:
+	// the core notices at its next throttled check and hands back the
+	// best groups found so far, which are printed with a warning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	level := slog.LevelInfo
 	if *verbose {
@@ -92,7 +112,7 @@ func main() {
 	q := ktg.Query{Keywords: kws, GroupSize: *p, Tenuity: *k, TopN: *n}
 	logger.Info("query", "keywords", kws, "p", *p, "k", *k, "n", *n)
 
-	opts := ktg.SearchOptions{MaxNodes: *maxNodes, Logger: logger}
+	opts := ktg.SearchOptions{MaxNodes: *maxNodes, Context: ctx, Logger: logger}
 	switch *alg {
 	case "vkc-deg":
 		opts.Algorithm = ktg.AlgVKCDeg
@@ -102,8 +122,6 @@ func main() {
 		opts.Algorithm = ktg.AlgQKC
 	case "brute":
 		opts.Algorithm = ktg.AlgBruteForce
-	default:
-		fatal(logger, fmt.Errorf("unknown algorithm %q", *alg))
 	}
 	start := time.Now()
 	switch *indexKind {
@@ -121,18 +139,14 @@ func main() {
 			fatal(logger, err)
 		}
 		opts.Index = idx
-	default:
-		fatal(logger, fmt.Errorf("unknown index %q", *indexKind))
 	}
 	logger.Info("index ready", "index", opts.Index.Name(), "dur", time.Since(start).Round(time.Millisecond))
 
 	switch {
 	case *greedy:
 		start = time.Now()
-		res, err := net.SearchGreedy(q, opts.Index, 0)
-		if err != nil {
-			fatal(logger, err)
-		}
+		res, err := net.SearchGreedyWith(q, opts, 0)
+		reportErr(logger, err)
 		logger.Info("greedy answered", "dur", time.Since(start).Round(time.Microsecond),
 			"seeds", res.Stats.Nodes, "note", "approximate")
 		emitStats(logger, *statsJSON, res.Stats)
@@ -161,7 +175,8 @@ func main() {
 
 	if *debugAddr != "" {
 		logger.Info("answering done; debug server still serving (interrupt to exit)")
-		select {}
+		<-ctx.Done()
+		stop()
 	}
 }
 
@@ -220,6 +235,10 @@ func reportErr(logger *slog.Logger, err error) {
 	}
 	if errors.Is(err, ktg.ErrBudgetExhausted) {
 		logger.Warn("node budget exhausted; result may be partial")
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		logger.Warn("search interrupted; printing the best groups found so far")
 		return
 	}
 	fatal(logger, err)

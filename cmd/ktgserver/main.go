@@ -1,0 +1,229 @@
+// Command ktgserver serves KTG and DKTG queries over HTTP/JSON. It
+// loads one or more datasets (generated presets and/or an edge-list +
+// attribute file pair), builds a shared distance index per dataset, and
+// exposes:
+//
+//	POST /v1/query             exact or greedy KTG search
+//	POST /v1/diverse           DKTG-Greedy diverse search
+//	GET  /v1/datasets          served datasets and their stats
+//	POST /v1/cache/invalidate  drop all cached results
+//	GET  /healthz, /readyz     liveness / readiness
+//	GET  /metrics              Prometheus metrics (shared obs registry)
+//
+// Admission control bounds concurrent searches (-workers) and the wait
+// queue (-queue); overflow is rejected with 429 + Retry-After. Complete
+// results land in an LRU cache (-cache) keyed by the canonicalized
+// query; identical concurrent queries share one search. Every request
+// carries a deadline (its timeout_ms, else -timeout, capped by
+// -max-timeout) that cancels the search core mid-flight.
+//
+// SIGINT/SIGTERM drains gracefully: readiness flips and new queries get
+// 503 while the listener stays open for -drain-grace, admitted searches
+// finish (up to -drain-timeout), then any stragglers are
+// force-cancelled via their contexts.
+//
+// Examples:
+//
+//	ktgserver -addr :8080 -presets brightkite,gowalla -scale 0.05
+//	ktgserver -addr 127.0.0.1:0 -edges g.edges -attrs g.attrs -dataset-name prod
+//	ktgserver -presets dblp -index nl -workers 4 -queue 16 -debug-addr :6060
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ktg"
+	"ktg/internal/cliutil"
+	"ktg/internal/obs"
+	"ktg/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address (host:0 picks a free port)")
+		presets      = flag.String("presets", "brightkite", "comma-separated dataset presets to serve ("+strings.Join(ktg.Presets(), ", ")+"); empty to serve files only")
+		scale        = flag.Float64("scale", 0.02, "preset scale factor")
+		edges        = flag.String("edges", "", "edge-list file for an additional file-backed dataset")
+		attrs        = flag.String("attrs", "", "keyword attribute file (with -edges)")
+		dsName       = flag.String("dataset-name", "dataset", "name for the file-backed dataset")
+		indexKind    = flag.String("index", "nlrnl", "shared distance index per dataset: bfs, nl, nlrnl")
+		workers      = flag.Int("workers", 0, "max concurrent searches (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "max requests waiting for a worker (0 = 2x workers, negative = none)")
+		cacheSize    = flag.Int("cache", 256, "result-cache capacity in entries (negative disables)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request search deadline")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "ceiling on client-requested timeouts")
+		drainGrace   = flag.Duration("drain-grace", time.Second, "how long to keep serving after the readiness flip so probes and queued clients observe it before the listener closes")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight searches")
+		verbose      = flag.Bool("v", false, "debug-level structured logging")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this extra address")
+	)
+	flag.Parse()
+
+	cliutil.MustChoice("ktgserver", "index", *indexKind, "bfs", "nl", "nlrnl")
+	var presetNames []string
+	for _, name := range strings.Split(*presets, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			cliutil.MustChoice("ktgserver", "presets", name, ktg.Presets()...)
+			presetNames = append(presetNames, name)
+		}
+	}
+	if len(presetNames) > 0 {
+		cliutil.MustScale("ktgserver", *scale)
+	}
+	if len(presetNames) == 0 && *edges == "" {
+		cliutil.BadUsage("ktgserver", "nothing to serve: give -presets and/or -edges")
+	}
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewTextLogger(os.Stderr, level)
+	ktg.SetDefaultLogger(logger)
+
+	if *debugAddr != "" {
+		dbg, _, err := ktg.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("debug server listening", "addr", dbg,
+			"endpoints", "/metrics /debug/vars /debug/pprof/")
+	}
+
+	var datasets []*server.Dataset
+	for _, name := range presetNames {
+		nw, err := ktg.GeneratePreset(name, *scale)
+		if err != nil {
+			fatal(logger, err)
+		}
+		datasets = append(datasets, prepare(logger, name, nw, *indexKind))
+	}
+	if *edges != "" {
+		nw, err := loadNetwork(*edges, *attrs)
+		if err != nil {
+			fatal(logger, err)
+		}
+		datasets = append(datasets, prepare(logger, *dsName, nw, *indexKind))
+	}
+
+	srv, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
+		Tracer:         obs.MetricsTracer{Reg: obs.Default()},
+	}, datasets...)
+	if err != nil {
+		fatal(logger, err)
+	}
+
+	// baseCtx parents every request context; cancelling it is the
+	// force-stop lever when draining overruns its budget.
+	baseCtx, forceCancel := context.WithCancel(context.Background())
+	defer forceCancel()
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(logger, err)
+	}
+	logger.Info("ktgserver listening", "addr", ln.Addr().String(),
+		"datasets", len(datasets), "workers", srv.Workers(), "queue", srv.QueueDepth())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(logger, err)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutdown signal received; draining", "grace", *drainGrace, "timeout", *drainTimeout)
+	srv.Drain()
+	// Keep the listener open for the grace window: http.Server.Shutdown
+	// closes it (and idle connections) immediately, so without this pause
+	// nothing outside would ever observe the /readyz flip or the 503s.
+	time.Sleep(*drainGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logger.Warn("drain budget exceeded; force-cancelling in-flight searches", "err", err)
+		forceCancel()
+		shCtx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := httpSrv.Shutdown(shCtx2); err != nil {
+			_ = httpSrv.Close()
+		}
+	}
+	logger.Info("ktgserver stopped")
+}
+
+// prepare attaches the logger and builds the shared distance index for
+// one dataset. "bfs" leaves the index nil: the per-instance BFS oracle
+// is not safe to share, so each search gets a private one.
+func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind string) *server.Dataset {
+	nw.SetLogger(logger)
+	ds := &server.Dataset{Name: name, Network: nw}
+	start := time.Now()
+	var err error
+	switch indexKind {
+	case "nl":
+		ds.Index, err = nw.BuildNL(0)
+	case "nlrnl":
+		ds.Index, err = nw.BuildNLRNL()
+	case "bfs":
+		logger.Info("dataset ready", "dataset", name, "index", "BFS (per-search)",
+			"vertices", nw.NumVertices(), "edges", nw.NumEdges())
+		return ds
+	}
+	if err != nil {
+		fatal(logger, err)
+	}
+	logger.Info("dataset ready", "dataset", name, "index", ds.Index.Name(),
+		"build", time.Since(start).Round(time.Millisecond),
+		"vertices", nw.NumVertices(), "edges", nw.NumEdges())
+	return ds
+}
+
+func loadNetwork(edges, attrs string) (*ktg.Network, error) {
+	if edges == "" {
+		return nil, errors.New("need -edges")
+	}
+	ef, err := os.Open(edges)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	if attrs == "" {
+		return ktg.LoadNetwork(ef, nil)
+	}
+	af, err := os.Open(attrs)
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	return ktg.LoadNetwork(ef, af)
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("ktgserver failed", "err", err)
+	os.Exit(1)
+}

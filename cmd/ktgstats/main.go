@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"ktg/internal/cliutil"
 	"ktg/internal/gen"
 	"ktg/internal/graph"
 	"ktg/internal/keywords"
@@ -32,6 +33,12 @@ func main() {
 		topK    = flag.Int("top", 10, "how many keyword popularity buckets to print")
 	)
 	flag.Parse()
+
+	cliutil.MustChoice("ktgstats", "model", *model, "social", "er", "erdos-renyi", "ws", "small-world")
+	if *preset != "" {
+		cliutil.MustChoice("ktgstats", "preset", *preset, gen.PresetNames()...)
+		cliutil.MustScale("ktgstats", *scale)
+	}
 
 	g, a, name, err := load(*preset, *scale, *model, *edges, *attrs)
 	if err != nil {

@@ -10,9 +10,14 @@ import (
 // whether the hop distance between u and v is at most k. All indexes
 // returned by this package satisfy it.
 //
-// Implementations returned by Network.NewBFSIndex, Network.BuildNL and
-// Network.BuildNLRNL keep per-instance traversal scratch; do not share
-// one instance between goroutines.
+// Concurrency: the built indexes (Network.BuildNL, Network.BuildNLRNL,
+// Network.BuildPLL) answer Within from immutable or pooled state, so a
+// single instance may be shared by concurrent searches — the query
+// server relies on this. Exceptions: NLRNLIndex.InsertEdge/RemoveEdge
+// mutate the index and must not run concurrently with queries, and the
+// index-free Network.NewBFSIndex keeps per-instance traversal scratch,
+// so give each goroutine its own (or leave SearchOptions.Index nil,
+// which allocates a private BFS oracle per search).
 type DistanceIndex interface {
 	Within(u, v Vertex, k int) bool
 	Name() string

@@ -1,0 +1,39 @@
+// Package cliutil holds the flag-validation conventions shared by every
+// ktg command: enumerated flag values are checked up front, and a bad
+// value produces one line on stderr naming the valid choices and exit
+// code 2 (the traditional usage-error code, distinct from runtime
+// failures which exit 1).
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Exit2 is swappable so tests can intercept the usage-error exit.
+var Exit2 = func() { os.Exit(2) }
+
+// BadUsage prints "prog: message" on stderr and exits with code 2.
+func BadUsage(prog, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+	Exit2()
+}
+
+// MustChoice verifies that the value given for -flagName is one of the
+// valid choices; otherwise it reports the valid set and exits 2.
+func MustChoice(prog, flagName, value string, valid ...string) {
+	for _, v := range valid {
+		if value == v {
+			return
+		}
+	}
+	BadUsage(prog, "invalid -%s %q (valid: %s)", flagName, value, strings.Join(valid, ", "))
+}
+
+// MustScale verifies a -scale value lies in (0, 1].
+func MustScale(prog string, scale float64) {
+	if scale <= 0 || scale > 1 {
+		BadUsage(prog, "invalid -scale %g (must be in (0, 1])", scale)
+	}
+}

@@ -1,0 +1,31 @@
+package cliutil
+
+import "testing"
+
+func TestMustChoice(t *testing.T) {
+	exits := 0
+	old := Exit2
+	Exit2 = func() { exits++ }
+	defer func() { Exit2 = old }()
+
+	MustChoice("prog", "alg", "vkc", "vkc", "qkc")
+	if exits != 0 {
+		t.Fatalf("valid choice exited %d times", exits)
+	}
+	MustChoice("prog", "alg", "dijkstra", "vkc", "qkc")
+	if exits != 1 {
+		t.Fatalf("invalid choice exited %d times, want 1", exits)
+	}
+	MustScale("prog", 0.5)
+	MustScale("prog", 1)
+	if exits != 1 {
+		t.Fatalf("valid scales exited, count %d", exits)
+	}
+	for _, bad := range []float64{0, -0.1, 1.5} {
+		before := exits
+		MustScale("prog", bad)
+		if exits != before+1 {
+			t.Fatalf("scale %g did not exit", bad)
+		}
+	}
+}

@@ -37,15 +37,28 @@ func BruteForce(g graph.Topology, attrs *keywords.Attributes, q Query, opts Opti
 	stats.CompileTime = time.Since(compileStart)
 
 	group := make([]graph.Vertex, 0, q.P)
+	var ctxErr error
 	var recurse func(start int)
 	recurse = func(start int) {
 		stats.Nodes++
+		if opts.Context != nil && stats.Nodes&deadlineNodeMask == 0 {
+			if err := opts.Context.Err(); err != nil {
+				ctxErr = err
+				return
+			}
+		}
+		if ctxErr != nil {
+			return
+		}
 		if len(group) == q.P {
 			stats.Feasible++
 			heap.Offer(group, kq.GroupCoverageCount(group))
 			return
 		}
 		for i := start; i < len(cands); i++ {
+			if ctxErr != nil {
+				return
+			}
 			v := cands[i]
 			ok := true
 			for _, u := range group {
@@ -75,5 +88,9 @@ func BruteForce(g graph.Topology, attrs *keywords.Attributes, q Query, opts Opti
 			return groups[i].Members[a] < groups[i].Members[b]
 		})
 	}
-	return &Result{Groups: groups, QueryWidth: kq.Width(), Stats: stats}, nil
+	res := &Result{Groups: groups, QueryWidth: kq.Width(), Stats: stats}
+	if ctxErr != nil {
+		return res, fmt.Errorf("brute force cancelled after %d nodes: %w", stats.Nodes, ctxErr)
+	}
+	return res, nil
 }

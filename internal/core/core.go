@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -104,6 +105,12 @@ type Options struct {
 	// with ErrBudgetExhausted. The deadline is checked every few
 	// hundred nodes, so overshoot is tiny.
 	MaxDuration time.Duration
+	// Context cancels the search from outside: it is consulted in the
+	// same throttled slots as MaxDuration (every few hundred nodes and
+	// oracle calls), so an abandoned search stops burning CPU promptly.
+	// On cancellation the best groups found so far are returned together
+	// with an error wrapping ctx.Err(). nil disables the checks.
+	Context context.Context
 	// ExcludeVertices are removed from the candidate pool outright.
 	// DKTG-Greedy uses this to keep result groups disjoint.
 	ExcludeVertices []graph.Vertex

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"ktg/internal/graph"
@@ -117,7 +116,8 @@ func SearchDiverse(g graph.Topology, attrs *keywords.Attributes, q Query, opts D
 		sub := q
 		sub.N = 1
 		r, err := Search(g, attrs, sub, perGroup)
-		if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+		if r == nil {
+			// Validation or compile failure: nothing partial to keep.
 			return nil, err
 		}
 		res.QueryWidth = r.QueryWidth
@@ -128,7 +128,8 @@ func SearchDiverse(g graph.Topology, attrs *keywords.Attributes, q Query, opts D
 			perGroup.ExcludeVertices = append(perGroup.ExcludeVertices, best.Members...)
 		}
 		if err != nil {
-			// Budget exhausted mid-greedy: return what we have.
+			// Budget exhausted or context cancelled mid-greedy: return
+			// what we have.
 			res.finishScores(opts.Gamma)
 			return res, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -20,6 +21,10 @@ type GreedyOptions struct {
 	// grows at most one group). 0 picks 4×N, which in practice fills
 	// the top-N whenever the constraints are satisfiable at all.
 	Seeds int
+	// Context cancels the search between seeds: on cancellation the
+	// groups completed so far are returned together with an error
+	// wrapping ctx.Err(). nil disables the checks.
+	Context context.Context
 	// Tracer receives compile/explore spans and per-seed events
 	// (nil = off).
 	Tracer obs.Tracer
@@ -90,8 +95,15 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 	pool := make([]cand, 0, len(base))
 	group := make([]graph.Vertex, 0, q.P)
 
+	var ctxErr error
 	exploreStart := time.Now()
 	for s := 0; s < len(base) && s < seeds; s++ {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				ctxErr = err
+				break
+			}
+		}
 		group = append(group[:0], base[s].v)
 		covered := kq.Mask(base[s].v).Clone()
 		// Pool: everyone except the seed, in base order.
@@ -149,6 +161,11 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 	}
 	obs.Or(opts.Logger).Debug("ktg: greedy search done",
 		"seeds", stats.Nodes, "feasible", stats.Feasible,
-		"oracle_calls", stats.OracleCalls, "explore", stats.ExploreTime)
-	return &Result{Groups: heap.Groups(), QueryWidth: kq.Width(), Stats: stats}, nil
+		"oracle_calls", stats.OracleCalls, "explore", stats.ExploreTime,
+		"cancelled", ctxErr != nil)
+	res := &Result{Groups: heap.Groups(), QueryWidth: kq.Width(), Stats: stats}
+	if ctxErr != nil {
+		return res, fmt.Errorf("greedy search cancelled after %d seeds: %w", stats.Nodes, ctxErr)
+	}
+	return res, nil
 }

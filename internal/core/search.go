@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -13,11 +14,11 @@ import (
 	"ktg/internal/obs"
 )
 
-// deadlineCheckMask throttles wall-clock deadline checks: the deadline
-// is consulted once every 128 node entries and once every 256 oracle
-// calls inside the k-line filtering loop, so even a single deep or
-// filter-heavy subtree cannot overrun MaxDuration by more than a few
-// hundred distance checks.
+// deadlineCheckMask throttles wall-clock deadline and context checks:
+// both are consulted once every 128 node entries and once every 256
+// oracle calls inside the k-line filtering loop, so even a single deep
+// or filter-heavy subtree cannot overrun MaxDuration (or survive a
+// cancellation) by more than a few hundred distance checks.
 const (
 	deadlineNodeMask   = 127
 	deadlineOracleMask = 255
@@ -74,6 +75,8 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		s.deadline = time.Now().Add(opts.MaxDuration)
 		s.hasDeadline = true
 	}
+	s.ctx = opts.Context
+	s.checkAbort = s.hasDeadline || s.ctx != nil
 	if s.ordering == OrderVKCDegree {
 		s.deg = make([]int32, g.NumVertices())
 		for v := 0; v < g.NumVertices(); v++ {
@@ -132,7 +135,15 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 	}
 
 	exploreStart := time.Now()
-	s.explore(root, s.coverBuf[0], 0)
+	// A context cancelled before exploration starts skips it outright —
+	// the throttled in-loop checks would otherwise admit up to a few
+	// hundred nodes first.
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.ctxErr = s.ctx.Err()
+		s.budgetHit = true
+	} else {
+		s.explore(root, s.coverBuf[0], 0)
+	}
 	s.stats.ExploreTime = time.Since(exploreStart)
 	if s.tracer != nil {
 		s.tracer.Span(obs.PhaseExplore, s.stats.ExploreTime)
@@ -155,6 +166,9 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		"feasible", s.stats.Feasible, "explore", s.stats.ExploreTime,
 		"budget_hit", s.budgetHit)
 	if s.budgetHit {
+		if s.ctxErr != nil {
+			return res, fmt.Errorf("search cancelled after %d nodes: %w", s.stats.Nodes, s.ctxErr)
+		}
 		return res, fmt.Errorf("search aborted after %d nodes: %w", s.stats.Nodes, ErrBudgetExhausted)
 	}
 	return res, nil
@@ -176,6 +190,9 @@ type searcher struct {
 	maxNodes    int64
 	deadline    time.Time
 	hasDeadline bool
+	ctx         context.Context
+	checkAbort  bool // hasDeadline || ctx != nil
+	ctxErr      error
 	tracer      obs.Tracer
 
 	deg      []int32
@@ -186,6 +203,25 @@ type searcher struct {
 	coverBuf []bitset.Set
 
 	budgetHit bool
+}
+
+// aborted reports whether the wall-clock deadline has passed or the
+// context has been cancelled, remembering the context error for the
+// final result. Callers gate it behind checkAbort plus a counter mask,
+// so the hot path pays at most one branch per node.
+func (s *searcher) aborted() bool {
+	if s.hasDeadline && time.Now().After(s.deadline) {
+		return true
+	}
+	if s.ctx != nil {
+		select {
+		case <-s.ctx.Done():
+			s.ctxErr = s.ctx.Err()
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 func (s *searcher) degree(v graph.Vertex) int32 {
@@ -209,7 +245,7 @@ func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 		s.budgetHit = true
 		return
 	}
-	if s.hasDeadline && s.stats.Nodes&deadlineNodeMask == 0 && time.Now().After(s.deadline) {
+	if s.checkAbort && s.stats.Nodes&deadlineNodeMask == 0 && s.aborted() {
 		s.budgetHit = true
 		return
 	}
@@ -253,15 +289,16 @@ func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 		childCover.UnionWith(s.kq.Mask(v.v))
 
 		// k-line filtering (Theorem 3): drop candidates within K of v.
-		// The wall-clock deadline is re-checked here every few hundred
-		// oracle calls: with a slow oracle (bounded BFS on a large
-		// graph) a single node's filtering pass can dwarf the per-node
-		// budget check, and before this loop-level check a deep slow
-		// subtree could overrun MaxDuration arbitrarily.
+		// The wall-clock deadline and the context are re-checked here
+		// every few hundred oracle calls: with a slow oracle (bounded
+		// BFS on a large graph) a single node's filtering pass can
+		// dwarf the per-node budget check, and before this loop-level
+		// check a deep slow subtree could overrun MaxDuration (or
+		// outlive a cancelled request) arbitrarily.
 		child := s.candBuf[depth][:0]
 		for _, u := range cands[i+1:] {
 			s.stats.OracleCalls++
-			if s.hasDeadline && s.stats.OracleCalls&deadlineOracleMask == 0 && time.Now().After(s.deadline) {
+			if s.checkAbort && s.stats.OracleCalls&deadlineOracleMask == 0 && s.aborted() {
 				s.budgetHit = true
 				s.candBuf[depth] = child
 				return

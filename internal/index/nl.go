@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"sync"
 	"time"
 
 	"ktg/internal/graph"
@@ -17,19 +18,33 @@ import (
 // are resolved by list lookups; queries with k > h resume a breadth-first
 // expansion from the stored h-hop frontier exactly as in Algorithm 2.
 //
-// An NL instance keeps per-instance traversal scratch, so it must not be
-// shared between goroutines without external synchronization.
+// The stored lists are immutable after the build, and the on-demand
+// frontier expansion draws its traversal scratch from an internal pool,
+// so a single NL instance is safe for concurrent use by any number of
+// goroutines (the query server shares one per dataset).
 type NL struct {
 	g      graph.Topology
 	h      int
 	levels [][][]graph.Vertex // levels[v][d-1]: sorted vertices at distance d
 	tracer obs.Tracer
 
-	// Scratch for expansion beyond h.
+	// scratch pools per-expansion traversal state (one *nlScratch per
+	// in-flight expansion beyond h), keeping Within allocation-free on
+	// the steady state while staying goroutine-safe.
+	scratch sync.Pool
+}
+
+// nlScratch is the traversal state of one expansion beyond h.
+type nlScratch struct {
 	stamp    []uint32
 	stampGen uint32
 	frontier []graph.Vertex
 	next     []graph.Vertex
+}
+
+// initScratch installs the pool constructor for an n-vertex index.
+func (nl *NL) initScratch(n int) {
+	nl.scratch.New = func() any { return &nlScratch{stamp: make([]uint32, n)} }
 }
 
 // NLOptions configures BuildNL.
@@ -67,9 +82,9 @@ func BuildNL(g graph.Topology, opts NLOptions) (*NL, error) {
 		g:      g,
 		h:      h,
 		levels: make([][][]graph.Vertex, n),
-		stamp:  make([]uint32, n),
 		tracer: opts.Tracer,
 	}
+	nl.initScratch(n)
 	tr := graph.NewTraverser(n)
 	for v := 0; v < n; v++ {
 		levels := tr.Levels(g, graph.Vertex(v), h)
@@ -136,36 +151,46 @@ func (nl *NL) Within(u, v graph.Vertex, k int) bool {
 }
 
 // expandSearch resumes BFS from u's stored h-hop frontier, looking for v
-// at distances h+1..k.
+// at distances h+1..k. The traversal state comes from the scratch pool,
+// so concurrent expansions never share mutable memory.
 func (nl *NL) expandSearch(u, v graph.Vertex, k int) bool {
-	nl.stampGen++
-	gen := nl.stampGen
-	nl.stamp[u] = gen
-	nl.frontier = nl.frontier[:0]
+	s := nl.scratch.Get().(*nlScratch)
+	defer nl.scratch.Put(s)
+	s.stampGen++
+	gen := s.stampGen
+	if gen == 0 {
+		// Generation counter wrapped: stale stamps could alias. Clear
+		// and restart (once every 2^32 expansions per scratch).
+		clear(s.stamp)
+		s.stampGen = 1
+		gen = 1
+	}
+	s.stamp[u] = gen
+	s.frontier = s.frontier[:0]
 	lists := nl.levels[u]
 	for d := 0; d < len(lists); d++ {
 		for _, w := range lists[d] {
-			nl.stamp[w] = gen
+			s.stamp[w] = gen
 		}
 	}
 	// Levels always materializes exactly h level slices per vertex.
-	nl.frontier = append(nl.frontier, lists[nl.h-1]...)
+	s.frontier = append(s.frontier, lists[nl.h-1]...)
 	for d := nl.h + 1; d <= k; d++ {
-		nl.next = nl.next[:0]
-		for _, w := range nl.frontier {
+		s.next = s.next[:0]
+		for _, w := range s.frontier {
 			for _, nb := range nl.g.Neighbors(w) {
-				if nl.stamp[nb] == gen {
+				if s.stamp[nb] == gen {
 					continue
 				}
-				nl.stamp[nb] = gen
+				s.stamp[nb] = gen
 				if nb == v {
 					return true
 				}
-				nl.next = append(nl.next, nb)
+				s.next = append(s.next, nb)
 			}
 		}
-		nl.frontier, nl.next = nl.next, nl.frontier
-		if len(nl.frontier) == 0 {
+		s.frontier, s.next = s.next, s.frontier
+		if len(s.frontier) == 0 {
 			return false
 		}
 	}

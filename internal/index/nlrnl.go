@@ -25,6 +25,11 @@ import (
 // Section V-B): an update recomputes lists only for the vertices whose
 // distance vector can have changed, identified from the BFS distance
 // fields of the edge's endpoints.
+//
+// Within and Distance only read the built lists, so any number of
+// goroutines may query one NLRNL concurrently. InsertEdge / RemoveEdge
+// mutate the index and must not run concurrently with queries or each
+// other.
 type NLRNL struct {
 	g      *graph.Mutable
 	comp   []int32

@@ -14,8 +14,10 @@ import (
 
 // Oracle answers bounded social-distance queries.
 //
-// Implementations may or may not be safe for concurrent use; see each
-// type's documentation.
+// Concurrency varies by implementation: NL, NLRNL, and PLL answer
+// queries from immutable (or pooled) state and are safe for concurrent
+// readers; BFSOracle keeps per-instance traversal scratch and is not.
+// See each type's documentation.
 type Oracle interface {
 	// Within reports whether the hop distance between u and v is at
 	// most k. Within(u, u, k) is true for every k >= 0.

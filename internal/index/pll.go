@@ -20,7 +20,8 @@ import (
 // unlike NLRNL — construction never materializes all-pairs distances.
 //
 // PLL is exact for any k, making it a third oracle choice alongside NL
-// and NLRNL in the ablation benchmarks.
+// and NLRNL in the ablation benchmarks. Queries only read the immutable
+// labels, so one PLL is safe for concurrent use.
 type PLL struct {
 	labels [][]labelEntry // per vertex, sorted by landmark id
 }

@@ -143,8 +143,8 @@ func ReadNL(r io.Reader, g graph.Topology) (*NL, error) {
 		g:      g,
 		h:      int(h),
 		levels: make([][][]graph.Vertex, n),
-		stamp:  make([]uint32, n),
 	}
+	nl.initScratch(int(n))
 	for v := uint32(0); v < n; v++ {
 		numLevels := rd.u32()
 		if rd.err != nil {

@@ -20,6 +20,10 @@ const (
 	PhaseIndexBuild = "index-build"
 	// PhaseSerialize covers index save/load.
 	PhaseSerialize = "serialize"
+	// PhaseServe covers one query-server request end to end (admission
+	// wait + search + encoding). The query server emits one span per
+	// request.
+	PhaseServe = "serve"
 )
 
 // Tracer receives span-style phase timings and point events from the

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admitter is the bounded-concurrency gate in front of the search core.
+// At most workers searches run at once; up to queueDepth further
+// requests may wait for a slot; anything beyond that is rejected
+// immediately so overload turns into fast 429s instead of a growing
+// latency cliff.
+type admitter struct {
+	slots  chan struct{} // buffered with `workers` tokens
+	queued atomic.Int64  // requests currently waiting in acquire
+	depth  int64         // max queued before rejecting
+}
+
+func newAdmitter(workers, queueDepth int) *admitter {
+	a := &admitter{
+		slots: make(chan struct{}, workers),
+		depth: int64(queueDepth),
+	}
+	for i := 0; i < workers; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// errOverloaded reports that the wait queue was full at arrival time.
+type admitError struct{ msg string }
+
+func (e *admitError) Error() string { return e.msg }
+
+var errOverloaded = &admitError{"server overloaded: admission queue full"}
+
+// acquire blocks until a worker slot is free, the queue overflows, or
+// ctx is cancelled. On success the caller must release() exactly once.
+func (a *admitter) acquire(ctx context.Context) error {
+	// Fast path: a slot is free right now — no queue accounting needed.
+	select {
+	case <-a.slots:
+		mInflight.Add(1)
+		return nil
+	default:
+	}
+
+	// Slow path: count ourselves into the queue, bounce if it is full.
+	if a.queued.Add(1) > a.depth {
+		a.queued.Add(-1)
+		return errOverloaded
+	}
+	mQueueDepth.Set(a.queued.Load())
+	defer func() {
+		a.queued.Add(-1)
+		mQueueDepth.Set(a.queued.Load())
+	}()
+
+	select {
+	case <-a.slots:
+		mInflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot taken by a successful acquire.
+func (a *admitter) release() {
+	mInflight.Add(-1)
+	a.slots <- struct{}{}
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// resultCache is an LRU cache of complete query responses with built-in
+// deduplication of concurrent identical misses (singleflight). Only
+// complete results are stored or shared: a partial result (deadline or
+// node budget hit) depends on the budget of the request that produced
+// it, so followers waiting on a flight that ends partial go back and
+// run their own search instead of inheriting someone else's truncation.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int // <= 0 disables storage (dedup still works)
+	ll       *list.List
+	items    map[string]*list.Element
+	flights  map[string]*flight
+}
+
+type cacheEntry struct {
+	key string
+	val *QueryResponse
+}
+
+// flight is one in-progress search that identical requests can wait on.
+type flight struct {
+	done      chan struct{}
+	val       *QueryResponse
+	err       error
+	shareable bool // complete result, safe to hand to followers
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// lookup returns the cached response for key and marks it most recently
+// used.
+func (c *resultCache) lookup(key string) (*QueryResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// do coalesces concurrent identical misses: one caller (the leader)
+// runs fn while the rest wait. fn reports whether its result is
+// shareable — complete, deterministic, independent of the particular
+// request's budget. A shareable result is stored in the LRU and handed
+// to every waiter; after a non-shareable outcome each waiter retries,
+// one of them becoming the next leader. The second return value
+// reports whether the response came from someone else's flight (or a
+// store that landed while we waited) rather than our own search.
+func (c *resultCache) do(ctx context.Context, key string, fn func() (*QueryResponse, bool, error)) (*QueryResponse, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			val := el.Value.(*cacheEntry).val
+			c.mu.Unlock()
+			return val, true, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.shareable {
+				return f.val, true, nil
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+
+		f.val, f.shareable, f.err = fn()
+
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.shareable {
+			c.storeLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.val, false, f.err
+	}
+}
+
+func (c *resultCache) storeLocked(key string, val *QueryResponse) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		mCacheEvictions.Inc()
+	}
+}
+
+// invalidate drops every cached entry (in-progress flights are
+// unaffected) and returns how many were removed.
+func (c *resultCache) invalidate() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.items)
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	mCacheEvictions.Add(int64(n))
+	return n
+}
+
+// size returns the number of cached entries.
+func (c *resultCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

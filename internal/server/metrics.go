@@ -1,0 +1,44 @@
+package server
+
+import "ktg/internal/obs"
+
+// Process-wide server metrics, registered on the shared obs registry so
+// they appear on the same /metrics surface as the search and index
+// metrics (the -debug-addr server and the embedded /metrics route both
+// render obs.Default()).
+var (
+	mQueueDepth = obs.Default().Gauge(
+		"ktg_server_queue_depth", "requests waiting for a search worker")
+	mInflight = obs.Default().Gauge(
+		"ktg_server_inflight", "searches currently holding a worker")
+	mRejectOverload = obs.Default().Counter(
+		"ktg_server_rejected_overload_total", "requests rejected with 429 because the admission queue was full")
+	mRejectDraining = obs.Default().Counter(
+		"ktg_server_rejected_draining_total", "requests rejected with 503 while the server was draining")
+	mRejectInvalid = obs.Default().Counter(
+		"ktg_server_rejected_invalid_total", "requests rejected with a 4xx by validation")
+	mCacheHits = obs.Default().Counter(
+		"ktg_server_cache_hits_total", "query responses served from the result cache")
+	mCacheMisses = obs.Default().Counter(
+		"ktg_server_cache_misses_total", "query requests that missed the result cache and ran a search")
+	mCacheShared = obs.Default().Counter(
+		"ktg_server_cache_shared_total", "query responses shared from a concurrent identical in-flight search")
+	mCacheEvictions = obs.Default().Counter(
+		"ktg_server_cache_evictions_total", "result-cache entries evicted (LRU pressure plus explicit invalidation)")
+	mPartial = obs.Default().Counter(
+		"ktg_server_partial_total", "responses carrying partial results (deadline or node budget hit)")
+	mCancelled = obs.Default().Counter(
+		"ktg_server_cancelled_total", "searches abandoned because the client went away mid-request")
+
+	// Per-endpoint request counters and end-to-end latency histograms.
+	mQueryRequests = obs.Default().Counter(
+		"ktg_server_query_requests_total", "POST /v1/query requests received")
+	mDiverseRequests = obs.Default().Counter(
+		"ktg_server_diverse_requests_total", "POST /v1/diverse requests received")
+	mQueryLatency = obs.Default().Histogram(
+		"ktg_server_query_latency_ns", "end-to-end POST /v1/query latency in nanoseconds")
+	mDiverseLatency = obs.Default().Histogram(
+		"ktg_server_diverse_latency_ns", "end-to-end POST /v1/diverse latency in nanoseconds")
+	mDatasetsLatency = obs.Default().Histogram(
+		"ktg_server_datasets_latency_ns", "end-to-end GET /v1/datasets latency in nanoseconds")
+)

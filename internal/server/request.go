@@ -1,0 +1,245 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ktg"
+)
+
+// maxBodyBytes bounds request bodies; a KTG query is a few hundred
+// bytes, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// Algorithm names accepted on the wire, mapped onto the public enum.
+// "greedy" selects the approximate single-pass search instead.
+var wireAlgorithms = map[string]ktg.Algorithm{
+	"":        ktg.AlgVKCDeg,
+	"vkc-deg": ktg.AlgVKCDeg,
+	"vkc":     ktg.AlgVKC,
+	"qkc":     ktg.AlgQKC,
+	"brute":   ktg.AlgBruteForce,
+}
+
+// AlgorithmNames lists the algorithm values a request may carry, in
+// display order.
+func AlgorithmNames() []string {
+	return []string{"vkc-deg", "vkc", "qkc", "brute", "greedy"}
+}
+
+// QueryRequest is the JSON body of POST /v1/query and POST /v1/diverse.
+// It mirrors the public ktg.Query / ktg.SearchOptions surface; fields
+// not listed here (tracing, exclusions) are server-controlled.
+type QueryRequest struct {
+	// Dataset names one of the datasets the server was started with.
+	Dataset string `json:"dataset"`
+	// Keywords is the query keyword set W_Q.
+	Keywords []string `json:"keywords"`
+	// GroupSize is p, Tenuity is k, TopN is N (default 1).
+	GroupSize int `json:"group_size"`
+	Tenuity   int `json:"tenuity"`
+	TopN      int `json:"top_n,omitempty"`
+	// Algorithm is one of AlgorithmNames(); empty means "vkc-deg".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Gamma weighs coverage against diversity for /v1/diverse (default
+	// 0.5). Rejected on /v1/query.
+	Gamma *float64 `json:"gamma,omitempty"`
+	// Seeds bounds the greedy seed set (algorithm "greedy" only;
+	// 0 = automatic).
+	Seeds int `json:"seeds,omitempty"`
+	// TimeoutMillis bounds the search wall clock. 0 inherits the server
+	// default; the server also enforces a ceiling. On expiry the best
+	// groups found so far are returned with "partial": true.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// MaxNodes bounds branch-and-bound effort; 0 means unlimited. Like
+	// a timeout, exhaustion yields a partial result.
+	MaxNodes int64 `json:"max_nodes,omitempty"`
+}
+
+// GroupJSON is one result group on the wire.
+type GroupJSON struct {
+	Members []ktg.Vertex `json:"members"`
+	Covered []string     `json:"covered"`
+	QKC     float64      `json:"qkc"`
+}
+
+// QueryResponse is the JSON body of a successful query. Cached entries
+// are shared between requests, so handlers treat it as immutable and
+// copy the struct before stamping per-request fields (Cache).
+type QueryResponse struct {
+	Dataset   string      `json:"dataset"`
+	Algorithm string      `json:"algorithm"`
+	Groups    []GroupJSON `json:"groups"`
+	// Diversity/MinQKC/Score are present for /v1/diverse only.
+	Diversity *float64 `json:"diversity,omitempty"`
+	MinQKC    *float64 `json:"min_qkc,omitempty"`
+	Score     *float64 `json:"score,omitempty"`
+	// Partial is true when the search hit its time or node budget; the
+	// groups are the best found within it. PartialReason is "deadline"
+	// or "budget".
+	Partial       bool            `json:"partial,omitempty"`
+	PartialReason string          `json:"partial_reason,omitempty"`
+	Stats         ktg.SearchStats `json:"stats"`
+	// Cache reports how this response was produced: "miss" (a search
+	// ran for this request), "hit" (served from the result cache), or
+	// "shared" (joined an identical in-flight search).
+	Cache string `json:"cache"`
+}
+
+// apiError is a structured 4xx/5xx: it renders as
+// {"error": {"code": ..., "message": ...}} with the given HTTP status.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// limits are the server-configured validation ceilings.
+type limits struct {
+	maxKeywords  int
+	maxGroupSize int
+	maxTopN      int
+}
+
+// decodeRequest parses and strictly validates a query request body.
+// Unknown JSON fields are rejected so client typos (e.g. "groupsize")
+// fail loudly instead of silently applying defaults.
+func decodeRequest(r *http.Request, diverse bool, lim limits) (*QueryRequest, *apiError) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req QueryRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("malformed_body", "invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return nil, badRequest("malformed_body", "request body must contain exactly one JSON object")
+	}
+	if err := req.validate(diverse, lim); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func (req *QueryRequest) validate(diverse bool, lim limits) *apiError {
+	if req.Dataset == "" {
+		return badRequest("missing_dataset", "dataset is required")
+	}
+	if len(req.Keywords) == 0 {
+		return badRequest("missing_keywords", "keywords must list at least one keyword")
+	}
+	if len(req.Keywords) > lim.maxKeywords {
+		return badRequest("too_many_keywords", "keywords lists %d entries, server limit is %d", len(req.Keywords), lim.maxKeywords)
+	}
+	for i, kw := range req.Keywords {
+		if strings.TrimSpace(kw) == "" {
+			return badRequest("empty_keyword", "keywords[%d] is empty", i)
+		}
+	}
+	if req.GroupSize < 1 {
+		return badRequest("invalid_group_size", "group_size must be at least 1, got %d", req.GroupSize)
+	}
+	if req.GroupSize > lim.maxGroupSize {
+		return badRequest("invalid_group_size", "group_size %d exceeds server limit %d", req.GroupSize, lim.maxGroupSize)
+	}
+	if req.Tenuity < 0 {
+		return badRequest("invalid_tenuity", "tenuity must be non-negative, got %d", req.Tenuity)
+	}
+	if req.TopN < 0 {
+		return badRequest("invalid_top_n", "top_n must be non-negative, got %d (0 means default)", req.TopN)
+	}
+	if req.TopN == 0 {
+		req.TopN = 1
+	}
+	if req.TopN > lim.maxTopN {
+		return badRequest("invalid_top_n", "top_n %d exceeds server limit %d", req.TopN, lim.maxTopN)
+	}
+	if _, ok := wireAlgorithms[req.Algorithm]; !ok && req.Algorithm != "greedy" {
+		return badRequest("unknown_algorithm", "unknown algorithm %q (valid: %s)", req.Algorithm, strings.Join(AlgorithmNames(), ", "))
+	}
+	if req.Seeds < 0 {
+		return badRequest("invalid_seeds", "seeds must be non-negative, got %d", req.Seeds)
+	}
+	if req.Seeds > 0 && req.Algorithm != "greedy" {
+		return badRequest("invalid_seeds", "seeds applies only to algorithm \"greedy\"")
+	}
+	if req.TimeoutMillis < 0 {
+		return badRequest("invalid_timeout", "timeout_ms must be non-negative, got %d", req.TimeoutMillis)
+	}
+	if req.MaxNodes < 0 {
+		return badRequest("invalid_max_nodes", "max_nodes must be non-negative, got %d", req.MaxNodes)
+	}
+	if req.Gamma != nil {
+		if !diverse {
+			return badRequest("invalid_gamma", "gamma applies only to /v1/diverse")
+		}
+		if *req.Gamma < 0 || *req.Gamma > 1 {
+			return badRequest("invalid_gamma", "gamma must be in [0, 1], got %g", *req.Gamma)
+		}
+	}
+	if diverse && req.Algorithm == "greedy" {
+		return badRequest("unknown_algorithm", "algorithm \"greedy\" is not available on /v1/diverse")
+	}
+	return nil
+}
+
+// cacheKey canonicalizes the request into a stable hash so that
+// semantically identical queries share one cache slot. Keywords are
+// sorted and de-duplicated (coverage is a set property). Budgets
+// (timeout_ms, max_nodes) are deliberately NOT part of the key: only
+// complete results are ever cached, and a complete result is
+// budget-independent. kind separates /v1/query from /v1/diverse.
+func (req *QueryRequest) cacheKey(kind string) string {
+	kws := append([]string(nil), req.Keywords...)
+	sort.Strings(kws)
+	uniq := kws[:0]
+	for i, kw := range kws {
+		if i == 0 || kw != kws[i-1] {
+			uniq = append(uniq, kw)
+		}
+	}
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "vkc-deg"
+	}
+	gamma := 0.5
+	if req.Gamma != nil {
+		gamma = *req.Gamma
+	}
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteByte('|')
+	b.WriteString(req.Dataset)
+	b.WriteByte('|')
+	b.WriteString(algo)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.GroupSize))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.Tenuity))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.TopN))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.Seeds))
+	b.WriteByte('|')
+	if kind == kindDiverse {
+		b.WriteString(strconv.FormatFloat(gamma, 'g', -1, 64))
+	}
+	for _, kw := range uniq {
+		b.WriteByte('|')
+		b.WriteString(kw)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,449 @@
+// Package server implements the KTG query service: an HTTP/JSON API
+// over the public ktg search surface with admission control (bounded
+// worker pool + bounded wait queue), an LRU result cache with
+// singleflight deduplication, per-request deadlines propagated into the
+// search core as context cancellation, and graceful drain. All metrics
+// land on the shared obs registry, so the standard -debug-addr surface
+// and the server's own /metrics route expose them identically.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ktg"
+	"ktg/internal/obs"
+)
+
+const (
+	kindQuery   = "query"
+	kindDiverse = "diverse"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// Workers caps concurrently running searches (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth caps requests waiting for a worker; beyond it requests
+	// are rejected with 429 (default: 2×Workers). Negative means no
+	// queue: reject as soon as all workers are busy.
+	QueueDepth int
+	// CacheSize caps cached complete results (default 256; negative
+	// disables caching).
+	CacheSize int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s). MaxTimeout is the ceiling any request can ask for
+	// (default 2m); larger requests are clamped, not rejected.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxKeywords / MaxGroupSize / MaxTopN bound request shape
+	// (defaults 64 / 16 / 100).
+	MaxKeywords  int
+	MaxGroupSize int
+	MaxTopN      int
+	// Logger receives request logs; nil uses slog.Default.
+	Logger *slog.Logger
+	// Tracer receives one PhaseServe span per request; nil disables.
+	Tracer obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxKeywords <= 0 {
+		c.MaxKeywords = 64
+	}
+	if c.MaxGroupSize <= 0 {
+		c.MaxGroupSize = 16
+	}
+	if c.MaxTopN <= 0 {
+		c.MaxTopN = 100
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Dataset is one queryable network. Index is optional; when set it must
+// be safe for concurrent readers (NL, NLRNL without mutation, PLL —
+// see ktg.DistanceIndex). A nil Index falls back to a per-search BFS
+// oracle.
+type Dataset struct {
+	Name    string
+	Network *ktg.Network
+	Index   ktg.DistanceIndex
+}
+
+// Server is the KTG query service. Create one with New, mount
+// Handler(), and call Drain before shutting the http.Server down.
+type Server struct {
+	cfg      Config
+	datasets map[string]*Dataset
+	names    []string
+	adm      *admitter
+	cache    *resultCache
+	draining atomic.Bool
+}
+
+// New builds a Server over the given datasets.
+func New(cfg Config, datasets ...*Dataset) (*Server, error) {
+	if len(datasets) == 0 {
+		return nil, fmt.Errorf("server: at least one dataset is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		datasets: make(map[string]*Dataset, len(datasets)),
+		adm:      newAdmitter(cfg.Workers, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheSize),
+	}
+	for _, ds := range datasets {
+		if ds.Name == "" || ds.Network == nil {
+			return nil, fmt.Errorf("server: dataset needs a name and a network")
+		}
+		if _, dup := s.datasets[ds.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate dataset %q", ds.Name)
+		}
+		s.datasets[ds.Name] = ds
+		s.names = append(s.names, ds.Name)
+	}
+	sort.Strings(s.names)
+	return s, nil
+}
+
+// Drain flips the server into shutdown mode: /readyz starts failing and
+// new query requests are rejected with 503 so load balancers move on,
+// while already-admitted searches run to completion. Call it before
+// http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Workers and QueueDepth report the effective admission limits after
+// defaulting (Config zero values mean "auto").
+func (s *Server) Workers() int    { return s.cfg.Workers }
+func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
+
+// Handler returns the server's route tree:
+//
+//	POST /v1/query             exact / greedy KTG search
+//	POST /v1/diverse           DKTG-Greedy diverse search
+//	GET  /v1/datasets          served datasets and their stats
+//	POST /v1/cache/invalidate  drop all cached results
+//	GET  /healthz              liveness (always 200 while the process runs)
+//	GET  /readyz               readiness (503 once draining)
+//	GET  /metrics              the shared obs registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/diverse", s.handleDiverse)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("POST /v1/cache/invalidate", s.handleInvalidate)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	mQueryRequests.Inc()
+	s.serveSearch(w, r, kindQuery, mQueryLatency)
+}
+
+func (s *Server) handleDiverse(w http.ResponseWriter, r *http.Request) {
+	mDiverseRequests.Inc()
+	s.serveSearch(w, r, kindDiverse, mDiverseLatency)
+}
+
+// serveSearch is the shared request pipeline: decode → validate →
+// resolve dataset → drain check → cache/singleflight → admission →
+// search → encode.
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string, latency *obs.Histogram) {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		latency.Observe(d.Nanoseconds())
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Span(obs.PhaseServe, d)
+		}
+	}()
+
+	req, aerr := decodeRequest(r, kind == kindDiverse, limits{
+		maxKeywords:  s.cfg.MaxKeywords,
+		maxGroupSize: s.cfg.MaxGroupSize,
+		maxTopN:      s.cfg.MaxTopN,
+	})
+	if aerr != nil {
+		mRejectInvalid.Inc()
+		writeAPIError(w, aerr)
+		return
+	}
+	ds, ok := s.datasets[req.Dataset]
+	if !ok {
+		mRejectInvalid.Inc()
+		writeAPIError(w, &apiError{
+			Status:  http.StatusNotFound,
+			Code:    "unknown_dataset",
+			Message: fmt.Sprintf("unknown dataset %q (serving: %v)", req.Dataset, s.names),
+		})
+		return
+	}
+	if s.draining.Load() {
+		mRejectDraining.Inc()
+		w.Header().Set("Retry-After", "5")
+		writeAPIError(w, &apiError{
+			Status:  http.StatusServiceUnavailable,
+			Code:    "draining",
+			Message: "server is shutting down",
+		})
+		return
+	}
+
+	key := req.cacheKey(kind)
+	if resp, ok := s.cache.lookup(key); ok {
+		mCacheHits.Inc()
+		s.writeResponse(w, resp, "hit")
+		return
+	}
+
+	leader := false
+	resp, fromFlight, err := s.cache.do(r.Context(), key, func() (*QueryResponse, bool, error) {
+		leader = true
+		return s.runSearch(r.Context(), req, ds, kind)
+	})
+	switch {
+	case err == nil && fromFlight:
+		// Joined an identical in-flight search (or a store that landed
+		// while we waited) — no search of our own ran.
+		mCacheShared.Inc()
+		s.writeResponse(w, resp, "shared")
+	case err == nil:
+		mCacheMisses.Inc()
+		s.writeResponse(w, resp, "miss")
+	default:
+		if leader {
+			mCacheMisses.Inc()
+		}
+		s.writeError(w, r, err)
+	}
+}
+
+// runSearch executes one admitted search. It returns the response, a
+// shareable flag (true only for complete results — those are safe to
+// cache and to hand to concurrent identical requests), and an error
+// for outcomes that cannot produce a response at all.
+func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Dataset, kind string) (*QueryResponse, bool, error) {
+	if err := s.adm.acquire(reqCtx); err != nil {
+		return nil, false, err
+	}
+	defer s.adm.release()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(reqCtx, timeout)
+	defer cancel()
+
+	q := ktg.Query{
+		Keywords:  req.Keywords,
+		GroupSize: req.GroupSize,
+		Tenuity:   req.Tenuity,
+		TopN:      req.TopN,
+	}
+	opts := ktg.SearchOptions{
+		Algorithm: wireAlgorithms[req.Algorithm],
+		Index:     ds.Index,
+		MaxNodes:  req.MaxNodes,
+		Context:   ctx,
+		Logger:    s.cfg.Logger,
+	}
+
+	resp := &QueryResponse{Dataset: ds.Name, Algorithm: req.Algorithm}
+	if resp.Algorithm == "" {
+		resp.Algorithm = "vkc-deg"
+	}
+	var (
+		res *ktg.Result
+		err error
+	)
+	switch {
+	case kind == kindDiverse:
+		gamma := 0.5
+		if req.Gamma != nil {
+			gamma = *req.Gamma
+		}
+		var dr *ktg.DiverseResult
+		dr, err = ds.Network.SearchDiverse(q, ktg.DiverseOptions{SearchOptions: opts, Gamma: gamma})
+		if dr != nil {
+			res = &ktg.Result{Groups: dr.Groups, Stats: dr.Stats}
+			resp.Diversity = &dr.Diversity
+			resp.MinQKC = &dr.MinQKC
+			resp.Score = &dr.Score
+		}
+	case req.Algorithm == "greedy":
+		res, err = ds.Network.SearchGreedyWith(q, opts, req.Seeds)
+	default:
+		res, err = ds.Network.Search(q, opts)
+	}
+
+	if res == nil {
+		// Validation failures inside the core; our own validation should
+		// make this unreachable, so surface it as a 400 with the core's
+		// message rather than masking it.
+		return nil, false, badRequest("invalid_query", "%v", err)
+	}
+	if reqCtx.Err() != nil {
+		// The client went away (or shutdown force-cancelled the base
+		// context) mid-search: there is nobody to answer. writeError
+		// counts this under ktg_server_cancelled_total.
+		return nil, false, reqCtx.Err()
+	}
+	resp.Groups = make([]GroupJSON, 0, len(res.Groups))
+	for _, g := range res.Groups {
+		resp.Groups = append(resp.Groups, GroupJSON{Members: g.Members, Covered: g.Covered, QKC: g.QKC})
+	}
+	resp.Stats = res.Stats
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Partial, resp.PartialReason = true, "deadline"
+	case errors.Is(err, ktg.ErrBudgetExhausted):
+		resp.Partial, resp.PartialReason = true, "budget"
+	default:
+		return nil, false, fmt.Errorf("search failed: %w", err)
+	}
+	if resp.Partial {
+		mPartial.Inc()
+	}
+	return resp, !resp.Partial, nil
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	start := time.Now()
+	defer func() { mDatasetsLatency.Observe(time.Since(start).Nanoseconds()) }()
+	type datasetJSON struct {
+		Name       string `json:"name"`
+		Vertices   int    `json:"vertices"`
+		Edges      int    `json:"edges"`
+		Vocabulary int    `json:"vocabulary"`
+		Index      string `json:"index"`
+	}
+	out := make([]datasetJSON, 0, len(s.names))
+	for _, name := range s.names {
+		ds := s.datasets[name]
+		d := datasetJSON{
+			Name:       name,
+			Vertices:   ds.Network.NumVertices(),
+			Edges:      ds.Network.NumEdges(),
+			Vocabulary: ds.Network.VocabularySize(),
+			Index:      "BFS",
+		}
+		if ds.Index != nil {
+			d.Index = ds.Index.Name()
+		}
+		out = append(out, d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, _ *http.Request) {
+	n := s.cache.invalidate()
+	s.cfg.Logger.Info("result cache invalidated", "entries", n)
+	writeJSON(w, http.StatusOK, map[string]any{"invalidated": n})
+}
+
+// writeResponse stamps the per-request cache status onto a copy of the
+// (possibly shared) response and encodes it.
+func (s *Server) writeResponse(w http.ResponseWriter, resp *QueryResponse, cacheStatus string) {
+	out := *resp
+	out.Cache = cacheStatus
+	w.Header().Set("X-KTG-Cache", cacheStatus)
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// writeError maps pipeline errors onto HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	var aerr *apiError
+	switch {
+	case errors.As(err, &aerr):
+		if aerr.Status < 500 {
+			mRejectInvalid.Inc()
+		}
+		writeAPIError(w, aerr)
+	case errors.Is(err, errOverloaded):
+		mRejectOverload.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeAPIError(w, &apiError{
+			Status:  http.StatusTooManyRequests,
+			Code:    "overloaded",
+			Message: "all workers busy and the wait queue is full; retry shortly",
+		})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; the status code is for logs only.
+		mCancelled.Inc()
+		s.cfg.Logger.Info("request abandoned by client", "path", r.URL.Path)
+		writeAPIError(w, &apiError{
+			Status:  http.StatusServiceUnavailable,
+			Code:    "client_gone",
+			Message: "request context cancelled before a result was ready",
+		})
+	default:
+		s.cfg.Logger.Error("query failed", "path", r.URL.Path, "err", err)
+		writeAPIError(w, &apiError{
+			Status:  http.StatusInternalServerError,
+			Code:    "internal",
+			Message: err.Error(),
+		})
+	}
+}
+
+func writeAPIError(w http.ResponseWriter, aerr *apiError) {
+	writeJSON(w, aerr.Status, map[string]any{"error": aerr})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

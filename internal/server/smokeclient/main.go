@@ -1,0 +1,89 @@
+// Command smokeclient is verify.sh's end-to-end probe for ktgserver:
+// it checks health, runs one KTG and one DKTG query (expecting 200 and
+// well-formed JSON), verifies the second identical query is a cache
+// hit, and confirms a malformed request yields a structured 400. It
+// exits non-zero on the first failed expectation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "ktgserver address")
+	dataset := flag.String("dataset", "brightkite", "dataset to query")
+	flag.Parse()
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		fail("healthz: err=%v status=%v", err, status(resp))
+	}
+	resp.Body.Close()
+
+	query := fmt.Sprintf(`{"dataset":%q,"keywords":["kw0000","kw0001","kw0002","kw0003"],"group_size":3,"tenuity":2,"top_n":3}`, *dataset)
+	first := post(client, base+"/v1/query", query, 200)
+	if _, ok := first["groups"]; !ok {
+		fail("/v1/query response lacks groups: %v", first)
+	}
+	if first["cache"] != "miss" {
+		fail("/v1/query first run cache = %v, want miss", first["cache"])
+	}
+	second := post(client, base+"/v1/query", query, 200)
+	if second["cache"] != "hit" {
+		fail("/v1/query repeat cache = %v, want hit", second["cache"])
+	}
+
+	diverse := fmt.Sprintf(`{"dataset":%q,"keywords":["kw0000","kw0001","kw0002","kw0003"],"group_size":3,"tenuity":2,"top_n":3,"gamma":0.5}`, *dataset)
+	dres := post(client, base+"/v1/diverse", diverse, 200)
+	if _, ok := dres["diversity"]; !ok {
+		fail("/v1/diverse response lacks diversity: %v", dres)
+	}
+
+	bad := post(client, base+"/v1/query", `{"dataset":"nope"}`, 400)
+	if _, ok := bad["error"]; !ok {
+		fail("invalid request lacks structured error: %v", bad)
+	}
+
+	fmt.Println("smokeclient: ok")
+}
+
+func post(client *http.Client, url, body string, wantStatus int) map[string]any {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		fail("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("POST %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		fail("POST %s: status %d, want %d: %s", url, resp.StatusCode, wantStatus, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		fail("POST %s: response is not JSON: %v: %s", url, err, raw)
+	}
+	return out
+}
+
+func status(r *http.Response) any {
+	if r == nil {
+		return nil
+	}
+	return r.StatusCode
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smokeclient: "+format+"\n", args...)
+	os.Exit(1)
+}

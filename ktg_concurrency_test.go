@@ -1,0 +1,119 @@
+package ktg_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ktg"
+)
+
+// TestConcurrentSearchSharedIndexes proves the documented guarantee the
+// query server relies on: a single NL / NLRNL / PLL index can back many
+// simultaneous searches. NL is built with h = 1 while the query uses
+// k = 2, so every k-line filter check goes through NL's on-demand
+// frontier expansion — the code path that pools mutable traversal
+// scratch. Run under -race (verify.sh does), identical goroutines must
+// also produce identical results.
+func TestConcurrentSearchSharedIndexes(t *testing.T) {
+	net, err := ktg.GeneratePreset("brightkite", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ktg.Query{
+		Keywords:  net.PopularKeywords(5),
+		GroupSize: 3,
+		Tenuity:   2,
+		TopN:      3,
+	}
+
+	nl, err := net.BuildNL(1) // h < k forces frontier expansion
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlrnl, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pll, err := net.BuildPLL()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	indexes := []struct {
+		name string
+		idx  ktg.DistanceIndex
+	}{{"NL", nl}, {"NLRNL", nlrnl}, {"PLL", pll}}
+
+	for _, tc := range indexes {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := net.Search(q, ktg.SearchOptions{Index: tc.idx})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 8
+			results := make([]*ktg.Result, goroutines)
+			errs := make([]error, goroutines)
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = net.Search(q, ktg.SearchOptions{Index: tc.idx})
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < goroutines; i++ {
+				if errs[i] != nil {
+					t.Fatalf("goroutine %d: %v", i, errs[i])
+				}
+				if !reflect.DeepEqual(results[i].Groups, want.Groups) {
+					t.Fatalf("goroutine %d returned different groups under concurrency:\n got %v\nwant %v",
+						i, results[i].Groups, want.Groups)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentMixedWorkloadSharedIndex mixes exact, greedy, and
+// diverse searches over one shared index — the shape of traffic the
+// query server actually sees.
+func TestConcurrentMixedWorkloadSharedIndex(t *testing.T) {
+	net := reviewerNetwork(t)
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 24)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := net.Search(reviewerQuery, ktg.SearchOptions{Index: idx}); err != nil {
+				errCh <- err
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := net.SearchGreedy(reviewerQuery, idx, 0); err != nil {
+				errCh <- err
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := ktg.DiverseOptions{SearchOptions: ktg.SearchOptions{Index: idx}, Gamma: 0.5}
+			if _, err := net.SearchDiverse(reviewerQuery, opts); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

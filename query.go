@@ -1,6 +1,7 @@
 package ktg
 
 import (
+	"context"
 	"errors"
 	"log/slog"
 	"sort"
@@ -85,6 +86,13 @@ type SearchOptions struct {
 	// unlimited. When exceeded, Search returns the best groups found
 	// so far together with ErrBudgetExhausted.
 	MaxDuration time.Duration
+	// Context cancels the search from outside (request abandoned,
+	// Ctrl-C, server shutdown). It is consulted in the same throttled
+	// hot-path slots as MaxDuration; on cancellation Search returns the
+	// best groups found so far together with an error wrapping
+	// ctx.Err() (test with errors.Is against context.Canceled or
+	// context.DeadlineExceeded). nil means no cancellation.
+	Context context.Context
 	// ExcludeMembers are vertices banned from all result groups.
 	ExcludeMembers []Vertex
 	// QueryVertices are "the authors": vertices whose social circle
@@ -232,18 +240,32 @@ func (n *Network) SearchDiverse(q Query, opts DiverseOptions) (*DiverseResult, e
 // starting vertices are tried (0 = 4×TopN). Use it when exact search is
 // too slow and a small coverage gap is acceptable.
 func (n *Network) SearchGreedy(q Query, idx DistanceIndex, seeds int) (*Result, error) {
-	cq, _ := n.lower(q, SearchOptions{})
-	var oracle = core.GreedyOptions{Seeds: seeds, Logger: n.logger}
-	if idx != nil {
-		oracle.Oracle = idx
+	return n.SearchGreedyWith(q, SearchOptions{Index: idx}, seeds)
+}
+
+// SearchGreedyWith is SearchGreedy with full options: opts.Index,
+// opts.Context, opts.Tracer, and opts.Logger are honored (the other
+// fields only apply to the exact algorithms). On cancellation the
+// groups completed so far are returned together with an error wrapping
+// ctx.Err().
+func (n *Network) SearchGreedyWith(q Query, opts SearchOptions, seeds int) (*Result, error) {
+	cq, copts := n.lower(q, opts)
+	gopts := core.GreedyOptions{
+		Seeds:   seeds,
+		Context: opts.Context,
+		Tracer:  copts.Tracer,
+		Logger:  copts.Logger,
+	}
+	if opts.Index != nil {
+		gopts.Oracle = opts.Index
 	}
 	start := time.Now()
-	res, err := core.Greedy(n.g, n.attrs, cq, oracle)
-	if err != nil {
+	res, err := core.Greedy(n.g, n.attrs, cq, gopts)
+	if res == nil {
 		return nil, err
 	}
 	recordSearch(time.Since(start), res.Stats, false)
-	return n.lift(res, q.Keywords), nil
+	return n.lift(res, q.Keywords), err
 }
 
 // TAGQBaseline runs the TAGQ-style comparison baseline of the paper's
@@ -283,6 +305,7 @@ func (n *Network) lower(q Query, opts SearchOptions) (core.Query, core.Options) 
 		UncappedPruneBound:    opts.UncappedPruneBound,
 		MaxNodes:              opts.MaxNodes,
 		MaxDuration:           opts.MaxDuration,
+		Context:               opts.Context,
 		ExcludeVertices:       opts.ExcludeMembers,
 		QueryVertices:         opts.QueryVertices,
 	}

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repo verification gate: build everything, vet, and run the full test
-# suite under the race detector. CI and pre-commit both run this.
+# Repo verification gate: build everything, vet, run the full test
+# suite under the race detector, then smoke the query server end to
+# end. CI and pre-commit both run this.
 set -eux
 
 cd "$(dirname "$0")"
@@ -8,3 +9,37 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test -race ./...
+
+# --- query-server end-to-end smoke -----------------------------------
+# Boot ktgserver on a random port, answer one KTG and one DKTG query
+# (200 + valid JSON, second identical query must be a cache hit), then
+# shut down cleanly via SIGTERM.
+tmp=$(mktemp -d "$(pwd)/.verify-tmp.XXXXXX")
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/ktgserver" ./cmd/ktgserver
+"$tmp/ktgserver" -addr 127.0.0.1:0 -presets brightkite -scale 0.02 \
+    -timeout 30s 2>"$tmp/server.log" &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*ktgserver listening.*addr=\([^ ]*\).*/\1/p' "$tmp/server.log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$tmp/server.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ktgserver never reported its address"; cat "$tmp/server.log"; exit 1; }
+
+go run ./internal/server/smokeclient -addr "$addr"
+
+kill -TERM "$server_pid"
+wait "$server_pid"   # graceful shutdown must exit 0
+server_pid=""
+grep -q "ktgserver stopped" "$tmp/server.log"
+echo "verify: ok"
