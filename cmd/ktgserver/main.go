@@ -17,6 +17,15 @@
 // carries a deadline (its timeout_ms, else -timeout, capped by
 // -max-timeout) that cancels the search core mid-flight.
 //
+// With -snapshots DIR each dataset's distance index is loaded from a
+// checksummed snapshot (<dir>/<dataset>.<kind>.snap) when it is valid
+// for the served graph, and rebuilt then re-saved crash-atomically when
+// it is missing, corrupt, version-skewed, or fingerprint-mismatched —
+// snapshot damage costs a rebuild, never a failed startup. Under
+// sustained overload, exact /v1/query searches that waited longer than
+// -degrade-wait for a worker slot run the greedy algorithm instead and
+// say so via "degraded": true.
+//
 // SIGINT/SIGTERM drains gracefully: readiness flips and new queries get
 // 503 while the listener stays open for -drain-grace, admitted searches
 // finish (up to -drain-timeout), then any stragglers are
@@ -38,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -57,6 +67,8 @@ func main() {
 		attrs        = flag.String("attrs", "", "keyword attribute file (with -edges)")
 		dsName       = flag.String("dataset-name", "dataset", "name for the file-backed dataset")
 		indexKind    = flag.String("index", "nlrnl", "shared distance index per dataset: bfs, nl, nlrnl")
+		snapshots    = flag.String("snapshots", "", "directory for index snapshots: load on startup when valid, rebuild and re-save otherwise (empty = always build in memory)")
+		degradeWait  = flag.Duration("degrade-wait", 500*time.Millisecond, "queue wait beyond which exact searches degrade to greedy (negative disables)")
 		workers      = flag.Int("workers", 0, "max concurrent searches (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 0, "max requests waiting for a worker (0 = 2x workers, negative = none)")
 		cacheSize    = flag.Int("cache", 256, "result-cache capacity in entries (negative disables)")
@@ -100,30 +112,37 @@ func main() {
 			"endpoints", "/metrics /debug/vars /debug/pprof/")
 	}
 
+	if *snapshots != "" {
+		if err := os.MkdirAll(*snapshots, 0o755); err != nil {
+			fatal(logger, err)
+		}
+	}
+
 	var datasets []*server.Dataset
 	for _, name := range presetNames {
 		nw, err := ktg.GeneratePreset(name, *scale)
 		if err != nil {
 			fatal(logger, err)
 		}
-		datasets = append(datasets, prepare(logger, name, nw, *indexKind))
+		datasets = append(datasets, prepare(logger, name, nw, *indexKind, *snapshots))
 	}
 	if *edges != "" {
 		nw, err := loadNetwork(*edges, *attrs)
 		if err != nil {
 			fatal(logger, err)
 		}
-		datasets = append(datasets, prepare(logger, *dsName, nw, *indexKind))
+		datasets = append(datasets, prepare(logger, *dsName, nw, *indexKind, *snapshots))
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Logger:         logger,
-		Tracer:         obs.MetricsTracer{Reg: obs.Default()},
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		DegradeQueueWait: *degradeWait,
+		Logger:           logger,
+		Tracer:           obs.MetricsTracer{Reg: obs.Default()},
 	}, datasets...)
 	if err != nil {
 		fatal(logger, err)
@@ -178,24 +197,43 @@ func main() {
 
 // prepare attaches the logger and builds the shared distance index for
 // one dataset. "bfs" leaves the index nil: the per-instance BFS oracle
-// is not safe to share, so each search gets a private one.
-func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind string) *server.Dataset {
+// is not safe to share, so each search gets a private one. With a
+// snapshot directory the index is loaded from
+// <dir>/<dataset>.<kind>.snap when that file is valid for this graph,
+// and rebuilt + re-saved crash-atomically otherwise — a corrupt or
+// stale snapshot costs a rebuild, never a failed startup.
+func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapDir string) *server.Dataset {
 	nw.SetLogger(logger)
 	ds := &server.Dataset{Name: name, Network: nw}
 	start := time.Now()
-	var err error
-	switch indexKind {
-	case "nl":
-		ds.Index, err = nw.BuildNL(0)
-	case "nlrnl":
-		ds.Index, err = nw.BuildNLRNL()
-	case "bfs":
+	var (
+		err error
+		out ktg.SnapshotOutcome
+	)
+	snapPath := ""
+	if snapDir != "" && indexKind != "bfs" {
+		snapPath = filepath.Join(snapDir, name+"."+indexKind+".snap")
+	}
+	switch {
+	case indexKind == "bfs":
 		logger.Info("dataset ready", "dataset", name, "index", "BFS (per-search)",
 			"vertices", nw.NumVertices(), "edges", nw.NumEdges())
 		return ds
+	case indexKind == "nl" && snapPath != "":
+		ds.Index, out, err = nw.LoadOrBuildNL(snapPath, 0)
+	case indexKind == "nl":
+		ds.Index, err = nw.BuildNL(0)
+	case snapPath != "":
+		ds.Index, out, err = nw.LoadOrBuildNLRNL(snapPath)
+	default:
+		ds.Index, err = nw.BuildNLRNL()
 	}
 	if err != nil {
 		fatal(logger, err)
+	}
+	if snapPath != "" {
+		logger.Info("index snapshot outcome", "dataset", name, "path", snapPath,
+			"reason", out.Reason, "loaded", out.Loaded, "resaved", out.Saved)
 	}
 	logger.Info("dataset ready", "dataset", name, "index", ds.Index.Name(),
 		"build", time.Since(start).Round(time.Millisecond),

@@ -1,0 +1,190 @@
+// Package faultio wraps io.Reader and io.Writer with scripted faults —
+// hard errors at a byte offset, silent truncation (torn writes), and
+// bit flips — so persistence tests can prove that every failure mode a
+// disk or a crash can produce is either surfaced as an error by the
+// writer or detected by the checksummed reader, never absorbed into a
+// silently wrong index.
+//
+// Faults are addressed by absolute byte offset in the wrapped stream.
+// The zero-configured wrappers are transparent pass-throughs.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default error produced by FailAt when the caller
+// does not supply one.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Writer is an io.Writer with scripted faults. Configure it with the
+// chainable FailAt / TruncateAt / FlipBit before writing.
+type Writer struct {
+	w       io.Writer
+	off     int64
+	failAt  int64
+	failErr error
+	truncAt int64
+	flips   map[int64]byte
+}
+
+// NewWriter wraps w with no faults configured.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, failAt: -1, truncAt: -1}
+}
+
+// FailAt makes the writer return err (ErrInjected if nil) once off
+// bytes have been written; a Write spanning the offset is a short write
+// — the prefix reaches the underlying writer, the rest does not.
+func (w *Writer) FailAt(off int64, err error) *Writer {
+	if err == nil {
+		err = ErrInjected
+	}
+	w.failAt, w.failErr = off, err
+	return w
+}
+
+// TruncateAt silently discards every byte at offset >= off while still
+// reporting success — the torn-write case where a crash loses the tail
+// of a file the application believed it wrote.
+func (w *Writer) TruncateAt(off int64) *Writer {
+	w.truncAt = off
+	return w
+}
+
+// FlipBit XORs the given bit (0..7) into the byte at offset off as it
+// passes through — simulated bit rot on the write path.
+func (w *Writer) FlipBit(off int64, bit uint8) *Writer {
+	if w.flips == nil {
+		w.flips = make(map[int64]byte)
+	}
+	w.flips[off] |= 1 << (bit & 7)
+	return w
+}
+
+// BytesWritten returns how many bytes the caller has written so far
+// (including bytes a TruncateAt discarded).
+func (w *Writer) BytesWritten() int64 { return w.off }
+
+func (w *Writer) Write(p []byte) (int, error) {
+	var failErr error
+	n := len(p)
+	if w.failAt >= 0 && w.off+int64(n) > w.failAt {
+		n = int(w.failAt - w.off)
+		if n < 0 {
+			n = 0
+		}
+		failErr = w.failErr
+	}
+	if err := w.pass(p[:n]); err != nil {
+		return 0, err
+	}
+	w.off += int64(n)
+	if failErr != nil {
+		return n, failErr
+	}
+	return n, nil
+}
+
+// pass forwards p applying flips and truncation; w.off is not yet
+// advanced for this span.
+func (w *Writer) pass(p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if len(w.flips) > 0 {
+		q := append([]byte(nil), p...)
+		for i := range q {
+			if mask, ok := w.flips[w.off+int64(i)]; ok {
+				q[i] ^= mask
+			}
+		}
+		p = q
+	}
+	if w.truncAt >= 0 {
+		keep := w.truncAt - w.off
+		if keep <= 0 {
+			return nil
+		}
+		if keep < int64(len(p)) {
+			p = p[:keep]
+		}
+	}
+	_, err := w.w.Write(p)
+	return err
+}
+
+// Reader is an io.Reader with scripted faults, the read-path mirror of
+// Writer.
+type Reader struct {
+	r       io.Reader
+	off     int64
+	failAt  int64
+	failErr error
+	truncAt int64
+	flips   map[int64]byte
+}
+
+// NewReader wraps r with no faults configured.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, failAt: -1, truncAt: -1}
+}
+
+// FailAt makes the reader return err (ErrInjected if nil) once off
+// bytes have been read.
+func (r *Reader) FailAt(off int64, err error) *Reader {
+	if err == nil {
+		err = ErrInjected
+	}
+	r.failAt, r.failErr = off, err
+	return r
+}
+
+// TruncateAt reports EOF at offset off — the stream simply ends early,
+// as after a torn write.
+func (r *Reader) TruncateAt(off int64) *Reader {
+	r.truncAt = off
+	return r
+}
+
+// FlipBit XORs the given bit (0..7) into the byte at offset off as it
+// passes through — bit rot on the read path.
+func (r *Reader) FlipBit(off int64, bit uint8) *Reader {
+	if r.flips == nil {
+		r.flips = make(map[int64]byte)
+	}
+	r.flips[off] |= 1 << (bit & 7)
+	return r
+}
+
+// BytesRead returns how many bytes have been handed to the caller.
+func (r *Reader) BytesRead() int64 { return r.off }
+
+func (r *Reader) Read(p []byte) (int, error) {
+	limit := int64(len(p))
+	atFault := int64(-1)
+	if r.failAt >= 0 && r.failAt-r.off < limit {
+		limit, atFault = r.failAt-r.off, r.failAt
+	}
+	if r.truncAt >= 0 && r.truncAt-r.off < limit {
+		limit = r.truncAt - r.off
+	}
+	if limit <= 0 {
+		if atFault >= 0 && r.off >= atFault {
+			return 0, r.failErr
+		}
+		if r.truncAt >= 0 && r.off >= r.truncAt {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+	n, err := r.r.Read(p[:limit])
+	for i := 0; i < n; i++ {
+		if mask, ok := r.flips[r.off+int64(i)]; ok {
+			p[i] ^= mask
+		}
+	}
+	r.off += int64(n)
+	return n, err
+}

@@ -1,0 +1,120 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestWriterPassThrough(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink)
+	if _, err := w.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != "hello world" {
+		t.Errorf("sink = %q", sink.String())
+	}
+	if w.BytesWritten() != 11 {
+		t.Errorf("BytesWritten = %d", w.BytesWritten())
+	}
+}
+
+func TestWriterFailAt(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink).FailAt(4, nil)
+	n, err := w.Write([]byte("0123456789"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (4, ErrInjected)", n, err)
+	}
+	if sink.String() != "0123" {
+		t.Errorf("sink = %q, want prefix up to fault", sink.String())
+	}
+	// Later writes keep failing at the same offset.
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-fault write err = %v", err)
+	}
+}
+
+func TestWriterTruncateAt(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink).TruncateAt(6)
+	for _, chunk := range []string{"0123", "4567", "89"} {
+		n, err := w.Write([]byte(chunk))
+		if n != len(chunk) || err != nil {
+			t.Fatalf("Write(%q) = (%d, %v), want silent success", chunk, n, err)
+		}
+	}
+	if sink.String() != "012345" {
+		t.Errorf("sink = %q, want silent truncation after 6 bytes", sink.String())
+	}
+	if w.BytesWritten() != 10 {
+		t.Errorf("BytesWritten = %d, want the caller-visible 10", w.BytesWritten())
+	}
+}
+
+func TestWriterFlipBit(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink).FlipBit(2, 0).FlipBit(2, 7)
+	if _, err := w.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 0, 0x81, 0}
+	if !bytes.Equal(sink.Bytes(), want) {
+		t.Errorf("sink = %x, want %x", sink.Bytes(), want)
+	}
+}
+
+func TestReaderFailAt(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("0123456789"))).FailAt(4, nil)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadAll err = %v, want ErrInjected", err)
+	}
+	if string(got) != "0123" {
+		t.Errorf("read %q before fault", got)
+	}
+}
+
+func TestReaderTruncateAt(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("0123456789"))).TruncateAt(7)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123456" {
+		t.Errorf("read %q, want early EOF after 7 bytes", got)
+	}
+}
+
+func TestReaderFlipBit(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0xFF, 0xFF})).FlipBit(1, 3)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0xFF, 0xF7}) {
+		t.Errorf("read %x, want ff f7", got)
+	}
+}
+
+func TestReaderFlipAcrossSmallReads(t *testing.T) {
+	r := NewReader(bytes.NewReader(make([]byte, 8))).FlipBit(5, 0)
+	buf := make([]byte, 1)
+	var got []byte
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []byte{0, 0, 0, 0, 0, 1, 0, 0}
+	if !bytes.Equal(got, want) {
+		t.Errorf("read %x, want %x", got, want)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"ktg/internal/persist"
 )
 
 // FuzzReadEdgeList hardens the text parser: arbitrary input must either
@@ -30,16 +32,25 @@ func FuzzReadEdgeList(f *testing.F) {
 }
 
 // FuzzReadBinary hardens the binary snapshot reader against corruption:
-// flipped bytes must be rejected or produce a graph that still validates.
+// any accepted input must produce a graph that validates, and an
+// accepted v2 container must decode to exactly the saved graph (its
+// checksums and self-fingerprint make accept-but-different a CRC
+// collision). Legacy v1 inputs have no checksums, so only structural
+// validity is demanded there.
 func FuzzReadBinary(f *testing.F) {
-	g := FromEdges(4, [][2]Vertex{{0, 1}, {1, 2}, {2, 3}})
-	var buf bytes.Buffer
-	if err := WriteBinary(&buf, g); err != nil {
+	golden := FromEdges(4, [][2]Vertex{{0, 1}, {1, 2}, {2, 3}})
+	var v2, v1 bytes.Buffer
+	if err := WriteBinary(&v2, golden); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	if err := writeBinaryV1(&v1, golden); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("KTGG\x01"))
+	f.Add([]byte(persist.Magic))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
@@ -47,6 +58,9 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if err := Validate(g); err != nil {
 			t.Fatalf("accepted snapshot fails validation: %v", err)
+		}
+		if bytes.HasPrefix(data, []byte(persist.Magic)) && !bytes.Equal(data, v2.Bytes()) {
+			t.Fatal("mutated v2 container was accepted")
 		}
 	})
 }

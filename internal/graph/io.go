@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"ktg/internal/persist"
 )
 
 // ReadEdgeList parses a whitespace- or comma-separated edge list in the
@@ -70,14 +72,35 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-const binaryMagic = "KTGG\x01"
+const binaryMagic = "KTGG\x01" // legacy v1
 
-// WriteBinary writes a compact binary snapshot of the graph.
+const kindGraph = "graph"
+
+// WriteBinary writes a binary snapshot of the graph as a checksummed
+// persist container (format v2): a versioned header with the graph's
+// own fingerprint, and one CRC32C-protected CSR section. Pair it with
+// persist.WriteFileAtomic for crash-safe on-disk snapshots.
 func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
-		return err
+	pw, err := persist.NewWriter(w, persist.Header{
+		Kind:  kindGraph,
+		Graph: persist.FingerprintOf(g),
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing snapshot: %w", err)
 	}
+	if err := pw.Section("csr", g.writeCSR); err != nil {
+		return fmt.Errorf("graph: writing snapshot: %w", err)
+	}
+	if err := pw.Close(); err != nil {
+		return fmt.Errorf("graph: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// writeCSR emits the payload shared by both formats: n, len(adj), the
+// offset array, the adjacency array.
+func (g *Graph) writeCSR(w io.Writer) error {
+	bw := bufio.NewWriter(w)
 	if err := binary.Write(bw, binary.LittleEndian, uint64(g.NumVertices())); err != nil {
 		return err
 	}
@@ -93,10 +116,31 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a snapshot written by WriteBinary and validates its
-// structural invariants.
+// writeBinaryV1 writes the legacy headerless format. Kept for tests and
+// fixtures in the on-disk format old deployments still hold; new
+// snapshots always go through WriteBinary.
+func writeBinaryV1(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := g.writeCSR(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a snapshot written by WriteBinary (v2 container) or
+// the legacy v1 writer and validates its structural invariants. The v2
+// path additionally verifies every section checksum and cross-checks
+// the reconstructed graph against the header fingerprint, so a flipped
+// byte anywhere in the file is surfaced as an error rather than a
+// silently different graph; both paths reject trailing bytes.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
+	if persist.SniffContainer(br) {
+		return readBinaryV2(br)
+	}
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
@@ -104,11 +148,55 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if string(magic) != binaryMagic {
 		return nil, fmt.Errorf("graph: bad magic %q", magic)
 	}
+	g, err := readCSR(br)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err == nil {
+		return nil, fmt.Errorf("graph: trailing bytes after snapshot payload: %w", persist.ErrCorrupt)
+	} else if err != io.EOF {
+		return nil, err
+	}
+	return g, nil
+}
+
+func readBinaryV2(br *bufio.Reader) (*Graph, error) {
+	pr, err := persist.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading snapshot: %w", err)
+	}
+	hdr := pr.Header()
+	if hdr.Kind != kindGraph {
+		return nil, fmt.Errorf("graph: snapshot holds %q, not a graph: %w", hdr.Kind, persist.ErrCorrupt)
+	}
+	sec, err := pr.Section("csr")
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading snapshot: %w", err)
+	}
+	g, err := readCSR(sec)
+	if err != nil {
+		return nil, err
+	}
+	if err := pr.Close(); err != nil {
+		return nil, fmt.Errorf("graph: reading snapshot: %w", err)
+	}
+	// Self-check: the reconstructed graph must reproduce the header
+	// fingerprint exactly.
+	if fp := persist.FingerprintOf(g); fp != hdr.Graph {
+		return nil, fmt.Errorf("graph: snapshot fingerprint [%v] does not match payload [%v]: %w",
+			hdr.Graph, fp, persist.ErrCorrupt)
+	}
+	return g, nil
+}
+
+// readCSR parses the shared CSR payload and validates its structural
+// invariants.
+func readCSR(r io.Reader) (*Graph, error) {
 	var n, m uint64
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, fmt.Errorf("graph: reading vertex count: %w", err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
 		return nil, fmt.Errorf("graph: reading adjacency length: %w", err)
 	}
 	const maxReasonable = 1 << 33
@@ -118,11 +206,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	// Read both arrays in bounded chunks so a forged header cannot force
 	// a huge up-front allocation: memory grows only as fast as actual
 	// input arrives, and truncated input fails early.
-	offsets, err := readInt64s(br, n+1)
+	offsets, err := readInt64s(r, n+1)
 	if err != nil {
 		return nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
-	adj, err := readUint32s(br, m)
+	adj, err := readUint32s(r, m)
 	if err != nil {
 		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
 	}

@@ -107,6 +107,25 @@ func TestReadBinaryRejectsCorruptOffsets(t *testing.T) {
 	}
 }
 
+// TestBinaryFlipEveryByteDetected proves the v2 container leaves no
+// blind spots: flipping any single byte of a graph snapshot must make
+// ReadBinary fail — there is no offset where corruption slips through.
+func TestBinaryFlipEveryByteDetected(t *testing.T) {
+	g := paperGraph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	golden := buf.Bytes()
+	for off := range golden {
+		mutated := bytes.Clone(golden)
+		mutated[off] ^= 0xFF
+		if _, err := ReadBinary(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("flip at offset %d went undetected", off)
+		}
+	}
+}
+
 func requireSameGraph(t *testing.T, a, b *Graph) {
 	t.Helper()
 	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {

@@ -17,3 +17,24 @@ var (
 	mIndexSerializeNanos = obs.Default().Histogram(
 		"ktg_index_serialize_ns", "wall-clock index save/load time in nanoseconds")
 )
+
+// Snapshot recovery metrics: LoadOrBuild* records whether the on-disk
+// snapshot was usable, and when not, why it fell back to a rebuild.
+var (
+	mSnapLoads = obs.Default().Counter(
+		"ktg_index_snapshot_loads_total", "index snapshots loaded and used as-is")
+	mSnapRebuildMissing = obs.Default().Counter(
+		"ktg_index_snapshot_rebuilt_missing_total", "rebuilds because no snapshot existed")
+	mSnapRebuildVersion = obs.Default().Counter(
+		"ktg_index_snapshot_rebuilt_version_total", "rebuilds because the snapshot format version is unsupported")
+	mSnapRebuildFingerprint = obs.Default().Counter(
+		"ktg_index_snapshot_rebuilt_fingerprint_total", "rebuilds because the snapshot was built for a different graph")
+	mSnapRebuildParam = obs.Default().Counter(
+		"ktg_index_snapshot_rebuilt_param_total", "rebuilds because the snapshot build parameters disagree with the request")
+	mSnapRebuildCorrupt = obs.Default().Counter(
+		"ktg_index_snapshot_rebuilt_corrupt_total", "rebuilds because checksum or payload validation failed")
+	mSnapSaved = obs.Default().Counter(
+		"ktg_index_snapshot_saved_total", "rebuilt indexes re-persisted crash-atomically")
+	mSnapSaveErrors = obs.Default().Counter(
+		"ktg_index_snapshot_save_errors_total", "snapshot re-save attempts that failed (non-fatal)")
+)

@@ -9,18 +9,36 @@ import (
 
 	"ktg/internal/graph"
 	"ktg/internal/obs"
+	"ktg/internal/persist"
 )
 
-// Binary layouts. Both formats begin with a distinct magic string and a
-// vertex count; lists are written as uint32 lengths followed by uint32
-// vertex ids. Little endian throughout.
+// Snapshot formats. Save writes the checksummed persist container
+// (format v2): a versioned header carrying the build parameters and a
+// fingerprint of the source graph, followed by one CRC32C-protected
+// payload section holding the same little-endian body the legacy format
+// used. ReadNL/ReadNLRNL sniff the magic and accept both the container
+// and the legacy headerless v1 layout (magic + body, no checksums);
+// both paths reject trailing bytes after a well-formed payload.
 const (
-	nlMagic    = "KTGNL\x01"
-	nlrnlMagic = "KTGRN\x01"
+	nlMagic    = "KTGNL\x01" // legacy v1
+	nlrnlMagic = "KTGRN\x01" // legacy v1
+
+	kindNL    = "nl"
+	kindNLRNL = "nlrnl"
+
+	sectionLevels = "levels"
+	sectionLists  = "lists"
 )
+
+// maxLevelCount is the plausibility ceiling on any per-vertex level
+// count (NL hop levels, NLRNL forward/reverse lists). It bounds the
+// pre-allocation a length field can trigger, so a hostile snapshot
+// cannot force a huge make; the v2 path additionally cross-checks NL
+// level counts against the h recorded in the container header.
+const maxLevelCount = 1024
 
 type countingWriter struct {
-	w   *bufio.Writer
+	w   io.Writer
 	err error
 }
 
@@ -41,7 +59,7 @@ func (cw *countingWriter) list(l []graph.Vertex) {
 }
 
 type reader struct {
-	r   *bufio.Reader
+	r   io.Reader
 	err error
 }
 
@@ -99,15 +117,56 @@ func traceSerialize(tr obs.Tracer, start time.Time, load bool) {
 	mIndexSerializeNanos.Observe(d.Nanoseconds())
 }
 
-// Save serializes the NL index (lists and h; the graph itself is not
-// embedded — supply it again at load time).
-func (nl *NL) Save(w io.Writer) error {
-	defer traceSerialize(nl.tracer, time.Now(), false)
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(nlMagic); err != nil {
+// requireStrictEOF rejects trailing bytes after a well-formed legacy
+// payload: a concatenated or padded file is treated as corrupt rather
+// than silently half-read.
+func requireStrictEOF(br *bufio.Reader, what string) error {
+	if _, err := br.ReadByte(); err == nil {
+		return fmt.Errorf("index: trailing bytes after %s payload: %w", what, persist.ErrCorrupt)
+	} else if err != io.EOF {
 		return err
 	}
-	cw := &countingWriter{w: bw}
+	return nil
+}
+
+// checkFingerprint compares the container header against the live graph
+// the index is being attached to.
+func checkFingerprint(hdr persist.Header, g graph.Topology, what string) error {
+	fp := persist.FingerprintOf(g)
+	if hdr.Graph != fp {
+		return fmt.Errorf("index: %s snapshot built for graph [%v], supplied graph is [%v]: %w",
+			what, hdr.Graph, fp, persist.ErrFingerprintMismatch)
+	}
+	return nil
+}
+
+// Save serializes the NL index (lists and h; the graph itself is not
+// embedded — supply it again at load time) as a checksummed v2
+// container. Pair it with persist.WriteFileAtomic (or NL SaveFile via
+// the public API) for crash-safe on-disk snapshots.
+func (nl *NL) Save(w io.Writer) error {
+	defer traceSerialize(nl.tracer, time.Now(), false)
+	pw, err := persist.NewWriter(w, persist.Header{
+		Kind:  kindNL,
+		Param: uint32(nl.h),
+		Graph: persist.FingerprintOf(nl.g),
+	})
+	if err != nil {
+		return fmt.Errorf("index: writing NL: %w", err)
+	}
+	if err := pw.Section(sectionLevels, nl.writeBody); err != nil {
+		return fmt.Errorf("index: writing NL: %w", err)
+	}
+	if err := pw.Close(); err != nil {
+		return fmt.Errorf("index: writing NL: %w", err)
+	}
+	return nil
+}
+
+// writeBody emits the NL payload shared by both formats: n, h, then per
+// vertex the level count and each level's list.
+func (nl *NL) writeBody(w io.Writer) error {
+	cw := &countingWriter{w: w}
 	cw.u32(uint32(len(nl.levels)))
 	cw.u32(uint32(nl.h))
 	for _, lists := range nl.levels {
@@ -116,21 +175,83 @@ func (nl *NL) Save(w io.Writer) error {
 			cw.list(l)
 		}
 	}
-	if cw.err != nil {
-		return fmt.Errorf("index: writing NL: %w", cw.err)
+	return cw.err
+}
+
+// saveV1 writes the legacy headerless format. Kept for tests and for
+// generating fixtures in the format old deployments still hold on disk;
+// new snapshots always go through Save.
+func (nl *NL) saveV1(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(nlMagic); err != nil {
+		return err
+	}
+	if err := nl.writeBody(bw); err != nil {
+		return fmt.Errorf("index: writing NL: %w", err)
 	}
 	return bw.Flush()
 }
 
-// ReadNL loads an NL index written by Save. g must be the topology the
-// index was built from (it is consulted for expansions beyond h).
+// ReadNL loads an NL index written by Save (v2 container) or by the
+// legacy v1 writer. g must be the topology the index was built from (it
+// is consulted for expansions beyond h); a v2 snapshot of a different
+// graph is rejected with persist.ErrFingerprintMismatch before any
+// payload is parsed.
 func ReadNL(r io.Reader, g graph.Topology) (*NL, error) {
 	defer traceSerialize(nil, time.Now(), true)
 	br := bufio.NewReader(r)
+	if persist.SniffContainer(br) {
+		return readNLV2(br, g)
+	}
 	if err := expectMagic(br, nlMagic); err != nil {
 		return nil, err
 	}
-	rd := &reader{r: br}
+	nl, err := readNLBody(br, g, -1)
+	if err != nil {
+		return nil, err
+	}
+	if err := requireStrictEOF(br, "NL"); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func readNLV2(br *bufio.Reader, g graph.Topology) (*NL, error) {
+	pr, err := persist.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading NL: %w", err)
+	}
+	hdr := pr.Header()
+	if hdr.Kind != kindNL {
+		return nil, fmt.Errorf("index: snapshot holds a %q index, not NL: %w", hdr.Kind, persist.ErrCorrupt)
+	}
+	if err := checkFingerprint(hdr, g, "NL"); err != nil {
+		return nil, err
+	}
+	if hdr.Param == 0 || hdr.Param > maxLevelCount {
+		return nil, fmt.Errorf("index: implausible NL h %d in header: %w", hdr.Param, persist.ErrCorrupt)
+	}
+	sec, err := pr.Section(sectionLevels)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading NL: %w", err)
+	}
+	nl, err := readNLBody(sec, g, int(hdr.Param))
+	if err != nil {
+		return nil, err
+	}
+	// The container is trustworthy only once the end frame and strict
+	// EOF have been verified; never return an index before that.
+	if err := pr.Close(); err != nil {
+		return nil, fmt.Errorf("index: reading NL: %w", err)
+	}
+	return nl, nil
+}
+
+// readNLBody parses the shared NL payload. wantH is the h recorded in
+// the v2 header (cross-checked against the body), or -1 for the legacy
+// format, where only the plausibility ceiling applies.
+func readNLBody(r io.Reader, g graph.Topology, wantH int) (*NL, error) {
+	rd := &reader{r: r}
 	n := rd.u32()
 	h := rd.u32()
 	if rd.err != nil {
@@ -138,6 +259,12 @@ func ReadNL(r io.Reader, g graph.Topology) (*NL, error) {
 	}
 	if int(n) != g.NumVertices() {
 		return nil, fmt.Errorf("index: NL built for %d vertices, graph has %d", n, g.NumVertices())
+	}
+	if h == 0 || h > maxLevelCount {
+		return nil, fmt.Errorf("index: implausible NL h %d", h)
+	}
+	if wantH >= 0 && int(h) != wantH {
+		return nil, fmt.Errorf("index: NL body h %d disagrees with header h %d: %w", h, wantH, persist.ErrCorrupt)
 	}
 	nl := &NL{
 		g:      g,
@@ -150,8 +277,11 @@ func ReadNL(r io.Reader, g graph.Topology) (*NL, error) {
 		if rd.err != nil {
 			return nil, fmt.Errorf("index: reading NL vertex %d: %w", v, rd.err)
 		}
-		if numLevels > 1024 {
-			return nil, fmt.Errorf("index: implausible level count %d", numLevels)
+		// The builder materializes exactly h level slices per vertex and
+		// the query path indexes levels[h-1] unconditionally, so any
+		// other count is corruption.
+		if numLevels != h {
+			return nil, fmt.Errorf("index: NL vertex %d has %d levels, index h is %d", v, numLevels, h)
 		}
 		lists := make([][]graph.Vertex, numLevels)
 		for d := range lists {
@@ -165,15 +295,32 @@ func ReadNL(r io.Reader, g graph.Topology) (*NL, error) {
 	return nl, nil
 }
 
-// Save serializes the NLRNL index (component labels, c values, and
-// both list families; the graph itself is not embedded).
+// Save serializes the NLRNL index (component labels, c values, and both
+// list families; the graph itself is not embedded) as a checksummed v2
+// container. The recorded fingerprint reflects the index's own mutable
+// copy of the graph, so a snapshot taken after InsertEdge/RemoveEdge
+// will (correctly) refuse to attach to the original topology.
 func (x *NLRNL) Save(w io.Writer) error {
 	defer traceSerialize(x.tracer, time.Now(), false)
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(nlrnlMagic); err != nil {
-		return err
+	pw, err := persist.NewWriter(w, persist.Header{
+		Kind:  kindNLRNL,
+		Graph: persist.FingerprintOf(x.g),
+	})
+	if err != nil {
+		return fmt.Errorf("index: writing NLRNL: %w", err)
 	}
-	cw := &countingWriter{w: bw}
+	if err := pw.Section(sectionLists, x.writeBody); err != nil {
+		return fmt.Errorf("index: writing NLRNL: %w", err)
+	}
+	if err := pw.Close(); err != nil {
+		return fmt.Errorf("index: writing NLRNL: %w", err)
+	}
+	return nil
+}
+
+// writeBody emits the NLRNL payload shared by both formats.
+func (x *NLRNL) writeBody(w io.Writer) error {
+	cw := &countingWriter{w: w}
 	n := len(x.c)
 	cw.u32(uint32(n))
 	for a := 0; a < n; a++ {
@@ -188,22 +335,72 @@ func (x *NLRNL) Save(w io.Writer) error {
 			cw.list(l)
 		}
 	}
-	if cw.err != nil {
-		return fmt.Errorf("index: writing NLRNL: %w", cw.err)
+	return cw.err
+}
+
+// saveV1 writes the legacy headerless NLRNL format (see NL.saveV1).
+func (x *NLRNL) saveV1(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(nlrnlMagic); err != nil {
+		return err
+	}
+	if err := x.writeBody(bw); err != nil {
+		return fmt.Errorf("index: writing NLRNL: %w", err)
 	}
 	return bw.Flush()
 }
 
-// ReadNLRNL loads an NLRNL index written by Save. g must be the
-// topology the index was built from; the loaded index copies it so that
-// dynamic updates remain available.
+// ReadNLRNL loads an NLRNL index written by Save (v2 container) or by
+// the legacy v1 writer. g must be the topology the index was built
+// from; the loaded index copies it so that dynamic updates remain
+// available.
 func ReadNLRNL(r io.Reader, g graph.Topology) (*NLRNL, error) {
 	defer traceSerialize(nil, time.Now(), true)
 	br := bufio.NewReader(r)
+	if persist.SniffContainer(br) {
+		return readNLRNLV2(br, g)
+	}
 	if err := expectMagic(br, nlrnlMagic); err != nil {
 		return nil, err
 	}
-	rd := &reader{r: br}
+	x, err := readNLRNLBody(br, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := requireStrictEOF(br, "NLRNL"); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+func readNLRNLV2(br *bufio.Reader, g graph.Topology) (*NLRNL, error) {
+	pr, err := persist.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading NLRNL: %w", err)
+	}
+	hdr := pr.Header()
+	if hdr.Kind != kindNLRNL {
+		return nil, fmt.Errorf("index: snapshot holds a %q index, not NLRNL: %w", hdr.Kind, persist.ErrCorrupt)
+	}
+	if err := checkFingerprint(hdr, g, "NLRNL"); err != nil {
+		return nil, err
+	}
+	sec, err := pr.Section(sectionLists)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading NLRNL: %w", err)
+	}
+	x, err := readNLRNLBody(sec, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := pr.Close(); err != nil {
+		return nil, fmt.Errorf("index: reading NLRNL: %w", err)
+	}
+	return x, nil
+}
+
+func readNLRNLBody(r io.Reader, g graph.Topology) (*NLRNL, error) {
+	rd := &reader{r: r}
 	n := rd.u32()
 	if rd.err != nil {
 		return nil, fmt.Errorf("index: reading NLRNL header: %w", rd.err)
@@ -222,24 +419,28 @@ func ReadNLRNL(r io.Reader, g graph.Topology) (*NLRNL, error) {
 		x.comp[a] = int32(rd.u32())
 		x.c[a] = int32(rd.u32())
 		nf := rd.u32()
-		if rd.err == nil && nf > 1024 {
+		if rd.err == nil && nf > maxLevelCount {
 			rd.err = fmt.Errorf("implausible forward level count %d", nf)
 		}
 		if rd.err != nil {
 			return nil, fmt.Errorf("index: reading NLRNL vertex %d: %w", a, rd.err)
 		}
-		x.fwd[a] = make([][]graph.Vertex, nf)
+		if nf > 0 { // keep nil for empty families, as the builder does
+			x.fwd[a] = make([][]graph.Vertex, nf)
+		}
 		for d := range x.fwd[a] {
 			x.fwd[a][d] = rd.list(n - 1)
 		}
 		nr := rd.u32()
-		if rd.err == nil && nr > 1024 {
+		if rd.err == nil && nr > maxLevelCount {
 			rd.err = fmt.Errorf("implausible reverse level count %d", nr)
 		}
 		if rd.err != nil {
 			return nil, fmt.Errorf("index: reading NLRNL vertex %d: %w", a, rd.err)
 		}
-		x.rev[a] = make([][]graph.Vertex, nr)
+		if nr > 0 {
+			x.rev[a] = make([][]graph.Vertex, nr)
+		}
 		for j := range x.rev[a] {
 			x.rev[a][j] = rd.list(n - 1)
 		}

@@ -1,0 +1,220 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Writer emits one framed snapshot container. Create it with NewWriter,
+// stream each section through Section, then Close. The Writer buffers
+// internally; errors from the underlying io.Writer are sticky and
+// resurface from every later call.
+type Writer struct {
+	bw     *bufio.Writer
+	err    error
+	closed bool
+	inBody bool
+}
+
+// NewWriter writes the magic and header and returns a Writer ready for
+// sections. A zero h.Version is filled in with FormatVersion.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if h.Version == 0 {
+		h.Version = FormatVersion
+	}
+	enc, err := h.encode()
+	if err != nil {
+		return nil, err
+	}
+	pw := &Writer{bw: bufio.NewWriter(w)}
+	pw.write([]byte(Magic))
+	pw.u32(uint32(len(enc)))
+	pw.write(enc)
+	pw.u32(crc32.Checksum(enc, crc32cTable))
+	if pw.err != nil {
+		return nil, fmt.Errorf("persist: writing header: %w", pw.err)
+	}
+	return pw, nil
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.bw.Write(p)
+}
+
+func (w *Writer) u32(x uint32) {
+	var b [4]byte
+	w.write(appendU32(b[:0], x))
+}
+
+func (w *Writer) u64(x uint64) {
+	var b [8]byte
+	w.write(appendU64(b[:0], x))
+}
+
+// Section writes one named section: fn streams the payload into the
+// io.Writer it receives, and the Writer frames it into checksummed
+// chunks with a length+CRC terminator.
+func (w *Writer) Section(name string, fn func(io.Writer) error) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("persist: Section after Close")
+	}
+	if len(name) == 0 || len(name) > maxNameLen {
+		return fmt.Errorf("persist: invalid section name %q", name)
+	}
+	w.write([]byte{frameSection, byte(len(name))})
+	w.write([]byte(name))
+	sw := &sectionWriter{w: w, buf: make([]byte, 0, writeChunkLen)}
+	if err := fn(sw); err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return err
+	}
+	sw.flushChunk()
+	// Terminator: zero chunk length, total payload length, payload CRC.
+	w.u32(0)
+	w.u64(sw.total)
+	w.u32(sw.crc)
+	if w.err != nil {
+		return fmt.Errorf("persist: writing section %q: %w", name, w.err)
+	}
+	return nil
+}
+
+// Close writes the end frame and flushes. The container is complete
+// only after Close returns nil.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.write([]byte{frameEnd})
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	if w.err != nil {
+		return fmt.Errorf("persist: finishing container: %w", w.err)
+	}
+	return nil
+}
+
+// sectionWriter accumulates payload bytes and emits full chunks.
+type sectionWriter struct {
+	w     *Writer
+	buf   []byte
+	total uint64
+	crc   uint32
+}
+
+func (s *sectionWriter) Write(p []byte) (int, error) {
+	if s.w.err != nil {
+		return 0, s.w.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		room := writeChunkLen - len(s.buf)
+		take := min(room, len(p))
+		s.buf = append(s.buf, p[:take]...)
+		p = p[take:]
+		if len(s.buf) == writeChunkLen {
+			s.flushChunk()
+			if s.w.err != nil {
+				return n - len(p), s.w.err
+			}
+		}
+	}
+	return n, nil
+}
+
+// flushChunk frames the buffered bytes as one checksummed chunk.
+func (s *sectionWriter) flushChunk() {
+	if len(s.buf) == 0 {
+		return
+	}
+	s.w.u32(uint32(len(s.buf)))
+	s.w.write(s.buf)
+	s.w.u32(crc32.Checksum(s.buf, crc32cTable))
+	s.total += uint64(len(s.buf))
+	s.crc = crc32.Update(s.crc, crc32cTable, s.buf)
+	s.buf = s.buf[:0]
+}
+
+// atomicHooks are test seams for the crash-safety suite: wrap injects a
+// fault writer around the temp file, beforeSync/beforeRename simulate a
+// crash between phases by aborting the save there.
+type atomicHooks struct {
+	wrap         func(io.Writer) io.Writer
+	beforeSync   func() error
+	beforeRename func() error
+}
+
+// WriteFileAtomic writes a file crash-atomically: the payload goes to a
+// temp file in the same directory, is fsynced, and is renamed over path
+// only once fully durable, so readers never observe a torn write — the
+// path either holds the old content (or is absent) or the complete new
+// content. The directory is fsynced after the rename so the new name
+// itself survives a crash.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return writeFileAtomic(path, write, atomicHooks{})
+}
+
+func writeFileAtomic(path string, write func(io.Writer) error, hooks atomicHooks) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	var w io.Writer = f
+	if hooks.wrap != nil {
+		w = hooks.wrap(f)
+	}
+	if err = write(w); err != nil {
+		return fmt.Errorf("persist: writing %s: %w", path, err)
+	}
+	if hooks.beforeSync != nil {
+		if err = hooks.beforeSync(); err != nil {
+			return err
+		}
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("persist: closing %s: %w", tmp, err)
+	}
+	if hooks.beforeRename != nil {
+		if err = hooks.beforeRename(); err != nil {
+			return err
+		}
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("persist: renaming into place: %w", err)
+	}
+	// Make the rename itself durable; best-effort on filesystems that
+	// reject directory fsync.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

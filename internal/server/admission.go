@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync/atomic"
+	"time"
 )
 
 // admitter is the bounded-concurrency gate in front of the search core.
@@ -35,20 +36,22 @@ func (e *admitError) Error() string { return e.msg }
 var errOverloaded = &admitError{"server overloaded: admission queue full"}
 
 // acquire blocks until a worker slot is free, the queue overflows, or
-// ctx is cancelled. On success the caller must release() exactly once.
-func (a *admitter) acquire(ctx context.Context) error {
+// ctx is cancelled. On success it returns how long the request waited
+// in the queue — the load-shedding signal the degradation policy reads
+// — and the caller must release() exactly once.
+func (a *admitter) acquire(ctx context.Context) (time.Duration, error) {
 	// Fast path: a slot is free right now — no queue accounting needed.
 	select {
 	case <-a.slots:
 		mInflight.Add(1)
-		return nil
+		return 0, nil
 	default:
 	}
 
 	// Slow path: count ourselves into the queue, bounce if it is full.
 	if a.queued.Add(1) > a.depth {
 		a.queued.Add(-1)
-		return errOverloaded
+		return 0, errOverloaded
 	}
 	mQueueDepth.Set(a.queued.Load())
 	defer func() {
@@ -56,12 +59,15 @@ func (a *admitter) acquire(ctx context.Context) error {
 		mQueueDepth.Set(a.queued.Load())
 	}()
 
+	start := time.Now()
 	select {
 	case <-a.slots:
 		mInflight.Add(1)
-		return nil
+		wait := time.Since(start)
+		mQueueWait.Observe(wait.Nanoseconds())
+		return wait, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return time.Since(start), ctx.Err()
 	}
 }
 

@@ -29,6 +29,12 @@ var (
 		"ktg_server_partial_total", "responses carrying partial results (deadline or node budget hit)")
 	mCancelled = obs.Default().Counter(
 		"ktg_server_cancelled_total", "searches abandoned because the client went away mid-request")
+	mPanics = obs.Default().Counter(
+		"ktg_server_panics_total", "request handlers recovered from a panic (returned as 500)")
+	mDegraded = obs.Default().Counter(
+		"ktg_server_degraded_total", "exact searches downgraded to greedy under load pressure")
+	mQueueWait = obs.Default().Histogram(
+		"ktg_server_queue_wait_ns", "time spent queued for a worker slot in nanoseconds (queued requests only)")
 
 	// Per-endpoint request counters and end-to-end latency histograms.
 	mQueryRequests = obs.Default().Counter(

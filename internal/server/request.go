@@ -86,7 +86,13 @@ type QueryResponse struct {
 	// or "budget".
 	Partial       bool            `json:"partial,omitempty"`
 	PartialReason string          `json:"partial_reason,omitempty"`
-	Stats         ktg.SearchStats `json:"stats"`
+	// Degraded is true when the server downgraded an exact search to the
+	// greedy algorithm under load pressure; DegradedReason is
+	// "queue_wait" or "deadline_pressure". Degraded responses are never
+	// cached — retry later for the exact answer.
+	Degraded       bool            `json:"degraded,omitempty"`
+	DegradedReason string          `json:"degraded_reason,omitempty"`
+	Stats          ktg.SearchStats `json:"stats"`
 	// Cache reports how this response was produced: "miss" (a search
 	// ran for this request), "hit" (served from the result cache), or
 	// "shared" (joined an identical in-flight search).

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSearchPanicRecovered proves a panicking search turns into a 500
+// while the server stays serviceable: the worker slot is released, the
+// singleflight completes (no hung waiters), and the next request works.
+func TestSearchPanicRecovered(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	h := s.Handler()
+	testSearchHook = func(kind string, req *QueryRequest) {
+		for _, kw := range req.Keywords {
+			if kw == "PANIC" {
+				panic("injected search panic")
+			}
+		}
+	}
+	defer func() { testSearchHook = nil }()
+
+	panics := mPanics.Value()
+	body := `{"dataset":"reviewers","keywords":["PANIC"],"group_size":2,"tenuity":1}`
+	rec, out := postJSON(t, h, "/v1/query", body)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %s", rec.Code, rec.Body.String())
+	}
+	if errObj, _ := out["error"].(map[string]any); errObj == nil || errObj["code"] != "internal_panic" {
+		t.Fatalf("error = %v, want code internal_panic", out["error"])
+	}
+	if mPanics.Value() != panics+1 {
+		t.Fatal("ktg_server_panics_total did not move")
+	}
+
+	// With a single worker, a leaked slot would make this request hang
+	// (postJSON would block in acquire until the test times out).
+	rec, _ = postJSON(t, h, "/v1/query", goodBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after panic: status = %d; body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHandlerPanicMiddleware exercises the outer recovery layer that
+// guards non-search handlers.
+func TestHandlerPanicMiddleware(t *testing.T) {
+	s := newTestServer(t, Config{})
+	wrapped := s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("route exploded")
+	}))
+	panics := mPanics.Value()
+	rec := httptest.NewRecorder()
+	wrapped.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if mPanics.Value() != panics+1 {
+		t.Fatal("ktg_server_panics_total did not move")
+	}
+
+	// net/http's own abort sentinel must pass through untouched.
+	aborting := s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("http.ErrAbortHandler was swallowed")
+		}
+	}()
+	aborting.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/abort", nil))
+	t.Fatal("aborting handler did not panic")
+}
+
+// degradeFixture saturates a one-worker server: a slow search (keyword
+// "SLOW") holds the only slot until release is closed, so the next
+// request measurably queues.
+func degradeFixture(t *testing.T, cfg Config) (h http.Handler, release chan struct{}, done *sync.WaitGroup) {
+	t.Helper()
+	cfg.Workers, cfg.QueueDepth = 1, 4
+	s := newTestServer(t, cfg)
+	h = s.Handler()
+	entered := make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	testSearchHook = func(kind string, req *QueryRequest) {
+		for _, kw := range req.Keywords {
+			if kw == "SLOW" {
+				once.Do(func() { close(entered) })
+				<-release
+			}
+		}
+	}
+	t.Cleanup(func() { testSearchHook = nil })
+
+	done = &sync.WaitGroup{}
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		req := httptest.NewRequest(http.MethodPost, "/v1/query",
+			strings.NewReader(`{"dataset":"reviewers","keywords":["SLOW"],"group_size":2,"tenuity":1}`))
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	<-entered
+	return h, release, done
+}
+
+func TestDegradeOnQueueWait(t *testing.T) {
+	h, release, done := degradeFixture(t, Config{DegradeQueueWait: 5 * time.Millisecond})
+	degraded := mDegraded.Value()
+
+	// Release the slot after the queued request has waited past the
+	// degradation threshold.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(release)
+	}()
+	rec, out := postJSON(t, h, "/v1/query", goodBody)
+	done.Wait()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d; body %s", rec.Code, rec.Body.String())
+	}
+	if out["degraded"] != true || out["degraded_reason"] != "queue_wait" {
+		t.Fatalf("degraded/degraded_reason = %v/%v, want true/queue_wait",
+			out["degraded"], out["degraded_reason"])
+	}
+	if out["algorithm"] != "greedy" {
+		t.Fatalf("algorithm = %v, want greedy (the degraded execution)", out["algorithm"])
+	}
+	if mDegraded.Value() != degraded+1 {
+		t.Fatal("ktg_server_degraded_total did not move")
+	}
+
+	// A degraded answer is a compromise, not the query's result: the
+	// same request on the now-idle server must run the exact search.
+	rec, out = postJSON(t, h, "/v1/query", goodBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("follow-up status = %d", rec.Code)
+	}
+	if out["cache"] != "miss" {
+		t.Fatalf("follow-up cache = %v, want miss (degraded result must not be cached)", out["cache"])
+	}
+	if out["degraded"] == true {
+		t.Fatal("follow-up still degraded with an idle server")
+	}
+}
+
+func TestDegradeOnDeadlinePressure(t *testing.T) {
+	// Queue-wait threshold far away; the trigger is the 40ms wait eating
+	// half of the request's own 60ms deadline.
+	h, release, done := degradeFixture(t, Config{DegradeQueueWait: time.Hour})
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		close(release)
+	}()
+	body := fmt.Sprintf(`{"dataset":"reviewers","keywords":["SN","GD"],"group_size":2,"tenuity":1,"timeout_ms":%d}`, 60)
+	rec, out := postJSON(t, h, "/v1/query", body)
+	done.Wait()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d; body %s", rec.Code, rec.Body.String())
+	}
+	if out["degraded"] != true || out["degraded_reason"] != "deadline_pressure" {
+		t.Fatalf("degraded/degraded_reason = %v/%v, want true/deadline_pressure",
+			out["degraded"], out["degraded_reason"])
+	}
+}
+
+func TestDegradationDisabled(t *testing.T) {
+	h, release, done := degradeFixture(t, Config{DegradeQueueWait: -1})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(release)
+	}()
+	rec, out := postJSON(t, h, "/v1/query", goodBody)
+	done.Wait()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d; body %s", rec.Code, rec.Body.String())
+	}
+	if out["degraded"] == true {
+		t.Fatal("degradation fired despite DegradeQueueWait < 0")
+	}
+}

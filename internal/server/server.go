@@ -15,6 +15,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,12 @@ type Config struct {
 	MaxKeywords  int
 	MaxGroupSize int
 	MaxTopN      int
+	// DegradeQueueWait is the graceful-degradation threshold: an exact
+	// /v1/query search that waited at least this long for a worker slot
+	// (or whose wait consumed half its deadline) runs the greedy
+	// algorithm instead and is answered with "degraded": true. Zero
+	// applies the default (500ms); negative disables degradation.
+	DegradeQueueWait time.Duration
 	// Logger receives request logs; nil uses slog.Default.
 	Logger *slog.Logger
 	// Tracer receives one PhaseServe span per request; nil disables.
@@ -83,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTopN <= 0 {
 		c.MaxTopN = 100
+	}
+	if c.DegradeQueueWait == 0 {
+		c.DegradeQueueWait = 500 * time.Millisecond
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -177,7 +187,39 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.Handle("GET /metrics", obs.Default().Handler())
-	return mux
+	return s.withRecovery(mux)
+}
+
+// withRecovery converts handler panics into 500s so one poisoned
+// request cannot take the whole process down. Search panics are already
+// recovered inside runSearch (they must be, or singleflight waiters
+// would hang on a leader that never completes); this outer layer covers
+// everything else — encoding, auxiliary routes, future handlers.
+// http.ErrAbortHandler is re-raised: it is net/http's own control flow
+// for deliberately aborted responses, not a failure.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			mPanics.Inc()
+			s.cfg.Logger.Error("request handler panicked",
+				"path", r.URL.Path, "panic", rec, "stack", string(debug.Stack()))
+			// Best effort: if the handler already started the response the
+			// extra header write is a no-op on a hijacked/committed stream.
+			writeAPIError(w, &apiError{
+				Status:  http.StatusInternalServerError,
+				Code:    "internal_panic",
+				Message: "internal error",
+			})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -263,12 +305,41 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 	}
 }
 
+// testSearchHook, when non-nil, runs inside runSearch after admission
+// and before the search core. Tests use it to inject panics and
+// latency; production never sets it.
+var testSearchHook func(kind string, req *QueryRequest)
+
 // runSearch executes one admitted search. It returns the response, a
 // shareable flag (true only for complete results — those are safe to
 // cache and to hand to concurrent identical requests), and an error
 // for outcomes that cannot produce a response at all.
-func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Dataset, kind string) (*QueryResponse, bool, error) {
-	if err := s.adm.acquire(reqCtx); err != nil {
+//
+// runSearch is the singleflight leader body, so a panic here must be
+// recovered *here*: letting it unwind through cache.do would leave the
+// flight's done channel forever open and hang every request that joined
+// it. The recover converts the panic into a plain 500 error, and the
+// deferred release (registered after acquire, so it runs first) still
+// returns the worker slot.
+func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Dataset, kind string) (resp *QueryResponse, shareable bool, err error) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		mPanics.Inc()
+		s.cfg.Logger.Error("search panicked",
+			"dataset", req.Dataset, "kind", kind, "panic", rec, "stack", string(debug.Stack()))
+		resp, shareable = nil, false
+		err = &apiError{
+			Status:  http.StatusInternalServerError,
+			Code:    "internal_panic",
+			Message: "internal error while executing the search",
+		}
+	}()
+
+	wait, err := s.adm.acquire(reqCtx)
+	if err != nil {
 		return nil, false, err
 	}
 	defer s.adm.release()
@@ -282,6 +353,26 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 	}
 	ctx, cancel := context.WithTimeout(reqCtx, timeout)
 	defer cancel()
+
+	// Graceful degradation: a long queue wait means the server is
+	// saturated — spending a full exact search per request now only
+	// deepens the backlog. Downgrade exact /v1/query searches to the
+	// greedy algorithm so the queue drains; the response says so via
+	// "degraded": true and is never cached (a later idle server should
+	// serve the exact answer).
+	degradedReason := ""
+	if kind == kindQuery && req.Algorithm != "greedy" && s.cfg.DegradeQueueWait > 0 {
+		switch {
+		case wait >= s.cfg.DegradeQueueWait:
+			degradedReason = "queue_wait"
+		case wait > 0 && 2*wait >= timeout:
+			degradedReason = "deadline_pressure"
+		}
+	}
+
+	if testSearchHook != nil {
+		testSearchHook(kind, req)
+	}
 
 	q := ktg.Query{
 		Keywords:  req.Keywords,
@@ -297,14 +388,19 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		Logger:    s.cfg.Logger,
 	}
 
-	resp := &QueryResponse{Dataset: ds.Name, Algorithm: req.Algorithm}
+	resp = &QueryResponse{Dataset: ds.Name, Algorithm: req.Algorithm}
 	if resp.Algorithm == "" {
 		resp.Algorithm = "vkc-deg"
 	}
-	var (
-		res *ktg.Result
-		err error
-	)
+	if degradedReason != "" {
+		mDegraded.Inc()
+		resp.Algorithm = "greedy"
+		resp.Degraded = true
+		resp.DegradedReason = degradedReason
+		s.cfg.Logger.Warn("degrading exact search to greedy",
+			"dataset", req.Dataset, "reason", degradedReason, "queue_wait", wait)
+	}
+	var res *ktg.Result
 	switch {
 	case kind == kindDiverse:
 		gamma := 0.5
@@ -319,7 +415,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 			resp.MinQKC = &dr.MinQKC
 			resp.Score = &dr.Score
 		}
-	case req.Algorithm == "greedy":
+	case req.Algorithm == "greedy" || degradedReason != "":
 		res, err = ds.Network.SearchGreedyWith(q, opts, req.Seeds)
 	default:
 		res, err = ds.Network.Search(q, opts)
@@ -354,7 +450,9 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 	if resp.Partial {
 		mPartial.Inc()
 	}
-	return resp, !resp.Partial, nil
+	// Partial and degraded results are request-specific compromises, not
+	// the query's true answer — never cache or share them.
+	return resp, !resp.Partial && !resp.Degraded, nil
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {

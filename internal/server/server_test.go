@@ -505,7 +505,7 @@ func TestDrainRejectsNewWork(t *testing.T) {
 
 func TestAdmitterQueueAccounting(t *testing.T) {
 	a := newAdmitter(1, 2)
-	if err := a.acquire(context.Background()); err != nil {
+	if _, err := a.acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -514,7 +514,10 @@ func TestAdmitterQueueAccounting(t *testing.T) {
 	defer cancel()
 	results := make(chan error, 2)
 	for i := 0; i < 2; i++ {
-		go func() { results <- a.acquire(ctx) }()
+		go func() {
+			_, err := a.acquire(ctx)
+			results <- err
+		}()
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for a.queued.Load() != 2 {
@@ -523,7 +526,7 @@ func TestAdmitterQueueAccounting(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := a.acquire(context.Background()); err != errOverloaded {
+	if _, err := a.acquire(context.Background()); err != errOverloaded {
 		t.Fatalf("third waiter got %v, want errOverloaded", err)
 	}
 

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo verification gate: build everything, vet, run the full test
 # suite under the race detector, then smoke the query server end to
-# end. CI and pre-commit both run this.
+# end — including snapshot corruption recovery. CI and pre-commit both
+# run this.
 set -eux
 
 cd "$(dirname "$0")"
@@ -23,23 +24,64 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 go build -o "$tmp/ktgserver" ./cmd/ktgserver
-"$tmp/ktgserver" -addr 127.0.0.1:0 -presets brightkite -scale 0.02 \
-    -timeout 30s 2>"$tmp/server.log" &
-server_pid=$!
 
-addr=""
-for _ in $(seq 1 100); do
-    addr=$(sed -n 's/.*ktgserver listening.*addr=\([^ ]*\).*/\1/p' "$tmp/server.log" | head -n 1)
-    [ -n "$addr" ] && break
-    kill -0 "$server_pid" 2>/dev/null || { cat "$tmp/server.log"; exit 1; }
-    sleep 0.1
-done
-[ -n "$addr" ] || { echo "ktgserver never reported its address"; cat "$tmp/server.log"; exit 1; }
+# boot_server LOGFILE [extra flags...] — start ktgserver in the
+# background and wait for its listen address; sets $server_pid / $addr.
+boot_server() {
+    _log=$1; shift
+    "$tmp/ktgserver" -addr 127.0.0.1:0 -presets brightkite -scale 0.02 \
+        -timeout 30s "$@" 2>"$_log" &
+    server_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/.*ktgserver listening.*addr=\([^ ]*\).*/\1/p' "$_log" | head -n 1)
+        [ -n "$addr" ] && break
+        kill -0 "$server_pid" 2>/dev/null || { cat "$_log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "ktgserver never reported its address"; cat "$_log"; exit 1; }
+}
 
+# stop_server — graceful SIGTERM shutdown; must exit 0.
+stop_server() {
+    kill -TERM "$server_pid"
+    wait "$server_pid"
+    server_pid=""
+}
+
+boot_server "$tmp/server.log"
 go run ./internal/server/smokeclient -addr "$addr"
-
-kill -TERM "$server_pid"
-wait "$server_pid"   # graceful shutdown must exit 0
-server_pid=""
+stop_server
 grep -q "ktgserver stopped" "$tmp/server.log"
+
+# --- snapshot corruption recovery smoke ------------------------------
+# First boot with -snapshots builds the index and saves a snapshot.
+# Corrupt one byte in the middle of that file; the next boot must
+# detect it (reason=corrupt), rebuild from the graph, heal the file,
+# and still answer queries. A third boot must load the healed snapshot.
+snaps="$tmp/snaps"
+snap="$snaps/brightkite.nl.snap"
+
+boot_server "$tmp/snap1.log" -index nl -snapshots "$snaps"
+go run ./internal/server/smokeclient -addr "$addr"
+stop_server
+grep -q "reason=missing" "$tmp/snap1.log"
+[ -s "$snap" ]
+
+# Overwrite the middle byte with its successor mod 256 (guaranteed change).
+size=$(wc -c < "$snap")
+off=$((size / 2))
+byte=$(od -An -tu1 -j "$off" -N1 "$snap" | tr -d ' ')
+printf "$(printf '\\%03o' $(( (byte + 1) % 256 )))" \
+    | dd of="$snap" bs=1 seek="$off" count=1 conv=notrunc 2>/dev/null
+
+boot_server "$tmp/snap2.log" -index nl -snapshots "$snaps"
+grep -q "reason=corrupt" "$tmp/snap2.log"
+go run ./internal/server/smokeclient -addr "$addr"
+stop_server
+
+boot_server "$tmp/snap3.log" -index nl -snapshots "$snaps"
+grep -q "reason=loaded" "$tmp/snap3.log"
+stop_server
+
 echo "verify: ok"
