@@ -72,11 +72,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Each run gets a request ID, carried on the context and stamped on
+	// every log line (errors included), so a run's output correlates
+	// with flight-recorder records and metrics scraped via -debug-addr.
+	requestID := ktg.NewRequestID()
+	ctx = ktg.WithRequestID(ctx, requestID)
+
 	level := slog.LevelInfo
 	if *verbose {
 		level = slog.LevelDebug
 	}
-	logger := obs.NewTextLogger(os.Stderr, level)
+	logger := obs.NewTextLogger(os.Stderr, level).With("request_id", requestID)
 	ktg.SetDefaultLogger(logger)
 
 	if *debugAddr != "" {

@@ -9,6 +9,19 @@
 //	POST /v1/cache/invalidate  drop all cached results
 //	GET  /healthz, /readyz     liveness / readiness
 //	GET  /metrics              Prometheus metrics (shared obs registry)
+//	GET  /debug/requests       flight recorder: recent completed requests
+//	GET  /debug/requests/slow  slow-query log (top-K by latency, sliding window)
+//	GET  /debug/inflight       currently executing requests with elapsed time
+//
+// Every request carries a request ID: a well-formed inbound
+// X-Request-Id is honored, anything else replaced with a generated ID;
+// the ID is echoed in the X-Request-Id response header and stamped on
+// every log line the request produces, down into the search core. The
+// flight recorder retains the last -flight-recorder completed requests
+// (phase spans, search stats, queue wait, outcome) and an
+// always-retained slow-query log of requests at or above
+// -slow-query-ms; both are served on the routes above and on the
+// -debug-addr surface.
 //
 // Admission control bounds concurrent searches (-workers) and the wait
 // queue (-queue); overflow is rejected with 429 + Retry-After. Complete
@@ -78,6 +91,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight searches")
 		verbose      = flag.Bool("v", false, "debug-level structured logging")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this extra address")
+		slowQueryMS  = flag.Int("slow-query-ms", 250, "latency (ms) at or above which a request enters the slow-query log and is warned about (negative disables)")
+		recorderSize = flag.Int("flight-recorder", 256, "completed requests retained by the /debug/requests flight recorder (negative disables the ring)")
 	)
 	flag.Parse()
 
@@ -102,6 +117,13 @@ func main() {
 	}
 	logger := obs.NewTextLogger(os.Stderr, level)
 	ktg.SetDefaultLogger(logger)
+
+	// One flight recorder serves both the embedded /debug/requests*
+	// routes and the -debug-addr surface (obs.DebugMux reads the
+	// process default).
+	recorder := obs.NewFlightRecorder(*recorderSize, 0,
+		time.Duration(*slowQueryMS)*time.Millisecond, 0)
+	obs.SetDefaultRecorder(recorder)
 
 	if *debugAddr != "" {
 		dbg, _, err := ktg.StartDebugServer(*debugAddr)
@@ -143,6 +165,7 @@ func main() {
 		DegradeQueueWait: *degradeWait,
 		Logger:           logger,
 		Tracer:           obs.MetricsTracer{Reg: obs.Default()},
+		Recorder:         recorder,
 	}, datasets...)
 	if err != nil {
 		fatal(logger, err)

@@ -109,7 +109,7 @@ func SearchDiverse(g graph.Topology, attrs *keywords.Attributes, q Query, opts D
 	perGroup := opts.Options
 	perGroup.ExcludeVertices = append([]graph.Vertex(nil), opts.ExcludeVertices...)
 
-	logger := obs.Or(opts.Logger)
+	logger := obs.OrCtx(opts.Context, opts.Logger)
 	logger.Debug("ktg: diverse search start", "n", q.N, "gamma", opts.Gamma)
 	res := &DiverseResult{}
 	for len(res.Groups) < q.N {

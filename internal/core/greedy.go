@@ -159,7 +159,7 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 		opts.Tracer.Span(obs.PhaseExplore, stats.ExploreTime)
 		opts.Tracer.Event(obs.PhaseExplore, "seeds", stats.Nodes)
 	}
-	obs.Or(opts.Logger).Debug("ktg: greedy search done",
+	obs.OrCtx(opts.Context, opts.Logger).Debug("ktg: greedy search done",
 		"seeds", stats.Nodes, "feasible", stats.Feasible,
 		"oracle_calls", stats.OracleCalls, "explore", stats.ExploreTime,
 		"cancelled", ctxErr != nil)

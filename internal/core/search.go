@@ -41,7 +41,10 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		return nil, fmt.Errorf("core: attributes cover %d vertices, graph has %d",
 			attrs.NumVertices(), g.NumVertices())
 	}
-	logger := obs.Or(opts.Logger)
+	// OrCtx stamps the context's request ID onto the fallback logger so
+	// core-level lines correlate with the serving request even when the
+	// caller injected no request-scoped logger.
+	logger := obs.OrCtx(opts.Context, opts.Logger)
 	logger.Debug("ktg: search start",
 		"keywords", len(q.Keywords), "p", q.P, "k", q.K, "n", q.N,
 		"ordering", opts.Ordering.String())

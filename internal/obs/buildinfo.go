@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the ktg_build_info metric on r: a
+// constant gauge of value 1 whose labels identify the running build
+// (Go toolchain version, module version, and VCS revision when the
+// binary was built from a stamped checkout). The default registry gets
+// it automatically, so every /metrics and /debug/vars surface reports
+// which deployment it belongs to.
+func RegisterBuildInfo(r *Registry) {
+	version, revision := "unknown", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	labels := []string{"go_version", "version"}
+	values := []string{runtime.Version(), version}
+	if revision != "" {
+		labels = append(labels, "revision")
+		values = append(values, revision)
+	}
+	r.Info("ktg_build_info", "build identity of the running binary (constant 1)", labels, values)
+}
+
+// Info registers a constant info-style gauge: value 1, identity in the
+// labels. Re-registration under the same name replaces nothing and
+// keeps the first payload (idempotent like the other kinds).
+func (r *Registry) Info(name, help string, labels, values []string) {
+	if len(labels) != len(values) {
+		panic("obs: Info needs one value per label")
+	}
+	rendered := labelString(labels, values)
+	r.mu.RLock()
+	m, ok := r.byName[name]
+	r.mu.RUnlock()
+	if ok {
+		if m.kind != kindInfo {
+			panic("obs: metric " + name + " re-registered with a different kind")
+		}
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok = r.byName[name]; ok {
+		if m.kind != kindInfo {
+			panic("obs: metric " + name + " re-registered with a different kind")
+		}
+		return
+	}
+	m = &metric{name: name, help: help, kind: kindInfo, infoLabels: rendered}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+}
+
+func init() { RegisterBuildInfo(defaultRegistry) }

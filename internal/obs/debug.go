@@ -12,9 +12,16 @@ import (
 // DebugMux returns an http.ServeMux exposing the observability surface
 // for the given registry:
 //
-//	/metrics      — Prometheus text (?format=json for JSON)
-//	/debug/vars   — expvar JSON (includes the registry once published)
-//	/debug/pprof/ — the standard pprof profiles
+//	/metrics             — Prometheus text (?format=json for JSON)
+//	/debug/vars          — expvar JSON (includes the registry once published)
+//	/debug/pprof/        — the standard pprof profiles
+//	/debug/requests      — the flight recorder's recent-request ring (JSON)
+//	/debug/requests/slow — the slow-query log: top-K by latency (JSON)
+//	/debug/inflight      — currently executing requests with elapsed time
+//
+// The request endpoints serve the process-wide DefaultRecorder,
+// resolved per request so a recorder installed after the mux was built
+// (ktgserver sizes one from its flags) is still picked up.
 func DebugMux(reg *Registry) *http.ServeMux {
 	if reg == defaultRegistry {
 		PublishExpvar()
@@ -27,12 +34,21 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		DefaultRecorder().RecentHandler().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/debug/requests/slow", func(w http.ResponseWriter, r *http.Request) {
+		DefaultRecorder().SlowHandler().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/debug/inflight", func(w http.ResponseWriter, r *http.Request) {
+		DefaultRecorder().InflightHandler().ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "ktg debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "ktg debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/requests\n/debug/requests/slow\n/debug/inflight\n")
 	})
 	return mux
 }

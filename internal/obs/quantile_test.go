@@ -1,0 +1,68 @@
+package obs
+
+import "testing"
+
+// TestQuantileEmpty: an untouched histogram reports 0 for every q,
+// including out-of-range ones.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 1 lands in bucket 0 (boundary 1), 1000 in bucket 10 (boundary 1024).
+	h.Observe(1)
+	h.Observe(1000)
+
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want 1 (smallest populated boundary)", got)
+	}
+	if got := h.Quantile(1); got != 1024 {
+		t.Errorf("Quantile(1) = %d, want 1024 (boundary covering all observations)", got)
+	}
+	// Out-of-range q clamps instead of under/overflowing the target rank.
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %d, want Quantile(0) = %d", got, want)
+	}
+	if got, want := h.Quantile(7.5), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7.5) = %d, want Quantile(1) = %d", got, want)
+	}
+}
+
+// TestQuantileNegativeObservations: negative values clamp into bucket 0
+// and therefore report quantile boundary 1.
+func TestQuantileNegativeObservations(t *testing.T) {
+	var h Histogram
+	h.Observe(-50)
+	h.Observe(-1)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("Quantile(0.5) over negative observations = %d, want 1", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("Quantile(1) over negative observations = %d, want 1", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("Count = %d, want 2", h.Count())
+	}
+	// Sum keeps the true (negative) total even though buckets clamp.
+	if h.Sum() != -51 {
+		t.Errorf("Sum = %d, want -51", h.Sum())
+	}
+}
+
+// TestQuantileSingleValue pins the upper-bound semantics: every
+// quantile of a single observation is its bucket boundary.
+func TestQuantileSingleValue(t *testing.T) {
+	var h Histogram
+	h.Observe(300) // bucket boundary 512
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 512 {
+			t.Errorf("Quantile(%v) = %d, want 512", q, got)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"net/http"
 	"sort"
@@ -86,11 +87,18 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns an upper bound for the q-quantile (q in [0,1]) from
 // the bucket boundaries: the smallest power-of-two boundary below which
-// at least q of the observations fall.
+// at least q of the observations fall. Out-of-range q clamps to the
+// nearest valid quantile; an empty histogram reports 0.
 func (h *Histogram) Quantile(q float64) int64 {
 	n := h.count.Load()
 	if n == 0 {
 		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := int64(q * float64(n))
 	if target < 1 {
@@ -115,6 +123,9 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindCounterVec
+	kindHistogramVec
+	kindInfo
 )
 
 type metric struct {
@@ -124,6 +135,11 @@ type metric struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	cv   *CounterVec
+	hv   *HistogramVec
+	// info renders as a constant gauge of value 1 whose labels carry
+	// the payload (the ktg_build_info idiom).
+	infoLabels string
 }
 
 // Registry holds named metrics and renders them as Prometheus text or
@@ -220,7 +236,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.g.Value())
 		case kindHistogram:
-			err = writePrometheusHistogram(w, m.name, m.h)
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			err = writePrometheusHistogram(w, m.name, "", m.h)
+		case kindCounterVec:
+			if _, err = fmt.Fprintf(w, "# TYPE %s counter\n", m.name); err != nil {
+				return err
+			}
+			for _, child := range m.cv.sortedChildren() {
+				ls := labelString(m.cv.labels, child.values)
+				if _, err = fmt.Fprintf(w, "%s{%s} %d\n", m.name, ls, child.c.Value()); err != nil {
+					return err
+				}
+			}
+		case kindHistogramVec:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			for _, child := range m.hv.sortedChildren() {
+				if err = writePrometheusHistogram(w, m.name, labelString(m.hv.labels, child.values), child.h); err != nil {
+					return err
+				}
+			}
+		case kindInfo:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} 1\n", m.name, m.name, m.infoLabels)
 		}
 		if err != nil {
 			return err
@@ -229,9 +269,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writePrometheusHistogram(w io.Writer, name string, h *Histogram) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
+// writePrometheusHistogram renders one histogram's bucket/sum/count
+// series. labels carries pre-rendered `k="v"` pairs for vec children
+// (empty for plain histograms); the caller writes the # TYPE line.
+func writePrometheusHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
 	}
 	var cum int64
 	for i := 0; i < histBuckets; i++ {
@@ -240,12 +284,16 @@ func writePrometheusHistogram(w io.Writer, name string, h *Histogram) error {
 			continue // keep the exposition sparse; cumulative counts stay correct
 		}
 		cum += n
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, int64(1)<<uint(i), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, int64(1)<<uint(i), cum); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-		name, h.Count(), name, h.Sum(), name, h.Count())
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n%s_sum%s %d\n%s_count%s %d\n",
+		name, labels, sep, h.Count(), name, suffix, h.Sum(), name, suffix, h.Count())
 	return err
 }
 
@@ -260,16 +308,35 @@ func (r *Registry) Snapshot() map[string]any {
 		case kindGauge:
 			out[m.name] = m.g.Value()
 		case kindHistogram:
-			out[m.name] = map[string]any{
-				"count": m.h.Count(),
-				"sum":   m.h.Sum(),
-				"mean":  m.h.Mean(),
-				"p50":   m.h.Quantile(0.50),
-				"p99":   m.h.Quantile(0.99),
+			out[m.name] = histogramSnapshot(m.h)
+		case kindCounterVec:
+			series := make(map[string]any)
+			for _, child := range m.cv.sortedChildren() {
+				series[labelString(m.cv.labels, child.values)] = child.c.Value()
 			}
+			out[m.name] = series
+		case kindHistogramVec:
+			series := make(map[string]any)
+			for _, child := range m.hv.sortedChildren() {
+				series[labelString(m.hv.labels, child.values)] = histogramSnapshot(child.h)
+			}
+			out[m.name] = series
+		case kindInfo:
+			out[m.name] = m.infoLabels
 		}
 	}
 	return out
+}
+
+// histogramSnapshot summarizes one histogram for JSON/expvar.
+func histogramSnapshot(h *Histogram) map[string]any {
+	return map[string]any{
+		"count": h.Count(),
+		"sum":   h.Sum(),
+		"mean":  h.Mean(),
+		"p50":   h.Quantile(0.50),
+		"p99":   h.Quantile(0.99),
+	}
 }
 
 // WriteJSON renders the Snapshot as indented JSON.

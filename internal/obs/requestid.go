@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+// requestIDKey is the private context key under which a request ID
+// travels. A dedicated type keeps it collision-free across packages.
+type requestIDKey struct{}
+
+// NewRequestID returns a fresh 16-hex-char request identifier. IDs are
+// random (not sequential) so concurrent generators never collide and
+// IDs leak nothing about request volume.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// constant rather than propagate an error nobody can act on.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the given request ID.
+// Core-level code retrieves it with RequestIDFromContext so log lines
+// emitted deep inside a search correlate with the serving request.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID carried by ctx, or ""
+// when none was attached (or ctx is nil).
+func RequestIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// OrCtx resolves a possibly-nil injected logger like Or, and — only
+// when falling back to the package default — stamps the context's
+// request ID onto it. Callers that inject their own logger are assumed
+// to have attached the ID already (the query server does), so the
+// attribute is never duplicated.
+func OrCtx(ctx context.Context, l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	l = Logger()
+	if id := RequestIDFromContext(ctx); id != "" {
+		l = l.With("request_id", id)
+	}
+	return l
+}

@@ -44,10 +44,11 @@ type Tracer interface {
 	Event(phase, name string, value int64)
 }
 
-// SpanRecord is one completed span captured by a CollectTracer.
+// SpanRecord is one completed span captured by a CollectTracer. The
+// JSON tags are stable: flight-recorder records embed spans verbatim.
 type SpanRecord struct {
-	Phase    string
-	Duration time.Duration
+	Phase    string        `json:"phase"`
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // EventRecord is one event captured by a CollectTracer.

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file adds a minimal label mechanism to the registry: CounterVec
+// and HistogramVec hold one child metric per label-value tuple and
+// render as standard Prometheus series (name{label="value"} ...). The
+// label set per vec is small and fixed at registration; callers are
+// responsible for bounding label-value cardinality (the query server
+// only labels with its configured dataset names and the closed
+// algorithm enum).
+
+// labeledCounter is one child of a CounterVec.
+type labeledCounter struct {
+	values []string
+	c      *Counter
+}
+
+// labeledHistogram is one child of a HistogramVec.
+type labeledHistogram struct {
+	values []string
+	h      *Histogram
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	byKey  map[string]*labeledCounter
+}
+
+// With returns the child counter for the given label values (one per
+// label, in registration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return lookupChild(&v.mu, v.byKey, v.name, v.labels, values,
+		func(vals []string) *labeledCounter { return &labeledCounter{values: vals, c: &Counter{}} }).c
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	byKey  map[string]*labeledHistogram
+}
+
+// With returns the child histogram for the given label values, creating
+// it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return lookupChild(&v.mu, v.byKey, v.name, v.labels, values,
+		func(vals []string) *labeledHistogram { return &labeledHistogram{values: vals, h: &Histogram{}} }).h
+}
+
+// lookupChild is the shared child-map fast/slow path: RLock lookup,
+// then write-locked double-checked insert.
+func lookupChild[T any](mu *sync.RWMutex, byKey map[string]*T, name string, labels, values []string, mk func([]string) *T) *T {
+	if len(values) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", name, len(labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	mu.RLock()
+	child, ok := byKey[key]
+	mu.RUnlock()
+	if ok {
+		return child
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if child, ok = byKey[key]; ok {
+		return child
+	}
+	child = mk(append([]string(nil), values...))
+	byKey[key] = child
+	return child
+}
+
+// CounterVec returns the counter family registered under name with the
+// given label names, creating it on first use. Panics if the name is
+// already taken by a different kind or a different label set.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	m := r.lookupVec(name, help, kindCounterVec, labels)
+	return m.cv
+}
+
+// HistogramVec returns the histogram family registered under name with
+// the given label names, creating it on first use.
+func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
+	m := r.lookupVec(name, help, kindHistogramVec, labels)
+	return m.hv
+}
+
+func (r *Registry) lookupVec(name, help string, kind metricKind, labels []string) *metric {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: vec metric %q needs at least one label", name))
+	}
+	check := func(m *metric) {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		var have []string
+		if kind == kindCounterVec {
+			have = m.cv.labels
+		} else {
+			have = m.hv.labels
+		}
+		if strings.Join(have, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: metric %q re-registered with labels %v, was %v", name, labels, have))
+		}
+	}
+	r.mu.RLock()
+	m, ok := r.byName[name]
+	r.mu.RUnlock()
+	if ok {
+		check(m)
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok = r.byName[name]; ok {
+		check(m)
+		return m
+	}
+	m = &metric{name: name, help: help, kind: kind}
+	labels = append([]string(nil), labels...)
+	switch kind {
+	case kindCounterVec:
+		m.cv = &CounterVec{name: name, labels: labels, byKey: make(map[string]*labeledCounter)}
+	case kindHistogramVec:
+		m.hv = &HistogramVec{name: name, labels: labels, byKey: make(map[string]*labeledHistogram)}
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// labelString renders `label="value",...` in registration order with
+// Prometheus escaping (backslash, quote, newline).
+func labelString(labels, values []string) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// sortedCounterChildren returns a vec's children sorted by label
+// values for deterministic exposition.
+func (v *CounterVec) sortedChildren() []*labeledCounter {
+	v.mu.RLock()
+	out := make([]*labeledCounter, 0, len(v.byKey))
+	for _, c := range v.byKey {
+		out = append(out, c)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\x00") < strings.Join(out[j].values, "\x00")
+	})
+	return out
+}
+
+func (v *HistogramVec) sortedChildren() []*labeledHistogram {
+	v.mu.RLock()
+	out := make([]*labeledHistogram, 0, len(v.byKey))
+	for _, h := range v.byKey {
+		out = append(out, h)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\x00") < strings.Join(out[j].values, "\x00")
+	})
+	return out
+}

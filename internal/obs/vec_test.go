@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecRendering(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("test_requests_total", "requests by tenant", "dataset", "algorithm")
+	vec.With("beta", "vkc").Add(3)
+	vec.With("alpha", "greedy").Inc()
+	vec.With("beta", "vkc").Inc() // same child again
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_requests_total counter",
+		`test_requests_total{dataset="alpha",algorithm="greedy"} 1`,
+		`test_requests_total{dataset="beta",algorithm="vkc"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children render sorted by label values for deterministic scrapes.
+	if strings.Index(out, `dataset="alpha"`) > strings.Index(out, `dataset="beta"`) {
+		t.Errorf("children not sorted by label values:\n%s", out)
+	}
+}
+
+func TestHistogramVecRendering(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.HistogramVec("test_latency_ns", "latency by tenant", "dataset")
+	vec.With("alpha").Observe(100) // bucket boundary 128
+	vec.With("alpha").Observe(100)
+	vec.With("beta").Observe(5) // bucket boundary 8
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_latency_ns histogram",
+		`test_latency_ns_bucket{dataset="alpha",le="128"} 2`,
+		`test_latency_ns_bucket{dataset="alpha",le="+Inf"} 2`,
+		`test_latency_ns_sum{dataset="alpha"} 200`,
+		`test_latency_ns_count{dataset="alpha"} 2`,
+		`test_latency_ns_bucket{dataset="beta",le="8"} 1`,
+		`test_latency_ns_count{dataset="beta"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecRegistrationIdempotentAndChecked(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.CounterVec("test_total", "h", "dataset")
+	b := reg.CounterVec("test_total", "h", "dataset")
+	if a != b {
+		t.Fatal("re-registration returned a different vec")
+	}
+	mustPanic(t, "different labels", func() { reg.CounterVec("test_total", "h", "other") })
+	mustPanic(t, "different kind", func() { reg.Counter("test_total", "h") })
+	mustPanic(t, "kind vs vec", func() { reg.HistogramVec("test_total", "h", "dataset") })
+	mustPanic(t, "wrong arity", func() { a.With("x", "y") })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestVecConcurrentAccess(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("test_conc_total", "h", "k")
+	hv := reg.HistogramVec("test_conc_ns", "h", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%4))
+			for j := 0; j < 500; j++ {
+				cv.With(key).Inc()
+				hv.With(key).Observe(int64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range cv.sortedChildren() {
+		total += c.c.Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("counter total = %d, want %d", total, 8*500)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("test_esc_total", "h", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestInfoMetric(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE ktg_build_info gauge") {
+		t.Errorf("missing build info TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `ktg_build_info{go_version="go`) || !strings.Contains(out, "} 1\n") {
+		t.Errorf("build info series malformed:\n%s", out)
+	}
+	// Idempotent: registering again neither panics nor duplicates.
+	RegisterBuildInfo(reg)
+	snap := reg.Snapshot()
+	if _, ok := snap["ktg_build_info"]; !ok {
+		t.Error("snapshot lacks ktg_build_info")
+	}
+}
+
+// TestDefaultRegistryHasBuildInfo covers the init-time registration
+// every binary inherits.
+func TestDefaultRegistryHasBuildInfo(t *testing.T) {
+	var b strings.Builder
+	if err := Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ktg_build_info{") {
+		t.Error("default registry does not expose ktg_build_info")
+	}
+}

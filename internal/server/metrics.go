@@ -37,14 +37,37 @@ var (
 		"ktg_server_queue_wait_ns", "time spent queued for a worker slot in nanoseconds (queued requests only)")
 
 	// Per-endpoint request counters and end-to-end latency histograms.
+	// The search-endpoint latencies are labeled by dataset and (requested,
+	// normalized) algorithm so hot tenants are visible straight from
+	// /metrics; requests rejected before dataset resolution land under
+	// dataset="unknown",algorithm="unknown".
 	mQueryRequests = obs.Default().Counter(
 		"ktg_server_query_requests_total", "POST /v1/query requests received")
 	mDiverseRequests = obs.Default().Counter(
 		"ktg_server_diverse_requests_total", "POST /v1/diverse requests received")
-	mQueryLatency = obs.Default().Histogram(
-		"ktg_server_query_latency_ns", "end-to-end POST /v1/query latency in nanoseconds")
-	mDiverseLatency = obs.Default().Histogram(
-		"ktg_server_diverse_latency_ns", "end-to-end POST /v1/diverse latency in nanoseconds")
+	mDatasetsRequests = obs.Default().Counter(
+		"ktg_server_datasets_requests_total", "GET /v1/datasets requests received")
+	mQueryLatency = obs.Default().HistogramVec(
+		"ktg_server_query_latency_ns", "end-to-end POST /v1/query latency in nanoseconds",
+		"dataset", "algorithm")
+	mDiverseLatency = obs.Default().HistogramVec(
+		"ktg_server_diverse_latency_ns", "end-to-end POST /v1/diverse latency in nanoseconds",
+		"dataset", "algorithm")
 	mDatasetsLatency = obs.Default().Histogram(
 		"ktg_server_datasets_latency_ns", "end-to-end GET /v1/datasets latency in nanoseconds")
+
+	// Search-effort split by dataset and algorithm (the process-wide
+	// ktg_search_* totals stay unlabeled; these attribute the same effort
+	// to tenants).
+	mSearchNodesSplit = obs.Default().CounterVec(
+		"ktg_server_search_nodes_total", "branch-and-bound nodes explored, split by dataset and algorithm",
+		"dataset", "algorithm")
+	mSearchChecksSplit = obs.Default().CounterVec(
+		"ktg_server_search_distance_checks_total", "social-distance oracle calls, split by dataset and algorithm",
+		"dataset", "algorithm")
 )
+
+// labelUnknown is the label value used before a request has resolved to
+// a served dataset (validation failures, unknown datasets) so client
+// typos cannot mint unbounded metric series.
+const labelUnknown = "unknown"

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"ktg/internal/obs"
+)
+
+// ctxKey keys the request-scoped values the middleware attaches.
+type ctxKey int
+
+const (
+	ctxKeyLogger ctxKey = iota
+	ctxKeyRecord
+)
+
+// maxRequestIDLen bounds inbound X-Request-Id values; anything longer
+// (or containing characters outside the ID alphabet) is replaced with a
+// server-generated ID rather than echoed back verbatim.
+const maxRequestIDLen = 128
+
+// sanitizeRequestID returns id when it is safe to propagate into logs
+// and response headers, "" otherwise.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter captures the response status code for the request
+// record. The JSON API never hijacks or flushes, so losing the optional
+// ResponseWriter interfaces is harmless here.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withRequestScope is the outermost middleware: it assigns the request
+// ID (honoring a well-formed inbound X-Request-Id, generating one
+// otherwise), echoes it on the response, attaches a request-scoped
+// logger and the ID itself to the context (so core-level search logs
+// correlate), and — for /v1/* API requests — tracks the request in the
+// flight recorder's in-flight table and records it on completion,
+// emitting a slow-query warning when it clears the recorder threshold.
+func (s *Server) withRequestScope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		logger := s.cfg.Logger.With("request_id", id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = context.WithValue(ctx, ctxKeyLogger, logger)
+
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r.WithContext(ctx))
+			return
+		}
+
+		rec := &obs.RequestRecord{ID: id, Endpoint: r.URL.Path, Start: time.Now()}
+		ctx = context.WithValue(ctx, ctxKeyRecord, rec)
+		endInflight := s.recorder.Begin(id, r.URL.Path, rec.Start)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			endInflight()
+			rec.Duration = time.Since(rec.Start)
+			rec.Status = sw.status
+			if rec.Outcome == "" {
+				// Handlers that know better (cached, partial, degraded,
+				// pipeline errors) have already classified themselves; this
+				// fallback covers auxiliary endpoints and recovered panics.
+				if sw.status == 0 || sw.status >= 400 {
+					rec.Outcome = obs.OutcomeError
+				} else {
+					rec.Outcome = obs.OutcomeOK
+				}
+			}
+			s.recorder.Record(*rec)
+			if thr := s.recorder.SlowThreshold(); thr > 0 && rec.Duration >= thr {
+				logger.Warn("slow query",
+					"endpoint", rec.Endpoint, "dataset", rec.Dataset,
+					"algorithm", rec.Algorithm, "dur", rec.Duration,
+					"queue_wait", rec.QueueWait, "outcome", rec.Outcome)
+			}
+		}()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+// reqLogger returns the request-scoped logger installed by
+// withRequestScope (it carries the request_id attribute), falling back
+// to the configured logger for code paths outside a request.
+func (s *Server) reqLogger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxKeyLogger).(*slog.Logger); ok {
+		return l
+	}
+	return s.cfg.Logger
+}
+
+// requestRecord returns the mutable flight-recorder record for this
+// request, or nil outside the middleware (direct handler tests).
+func requestRecord(ctx context.Context) *obs.RequestRecord {
+	rec, _ := ctx.Value(ctxKeyRecord).(*obs.RequestRecord)
+	return rec
+}

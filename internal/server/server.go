@@ -61,6 +61,13 @@ type Config struct {
 	Logger *slog.Logger
 	// Tracer receives one PhaseServe span per request; nil disables.
 	Tracer obs.Tracer
+	// Recorder captures completed /v1 requests for the flight-recorder
+	// debug endpoints (/debug/requests, /debug/requests/slow,
+	// /debug/inflight). nil creates a private recorder with default
+	// sizing; ktgserver passes one sized by -flight-recorder /
+	// -slow-query-ms and installs it as the obs default so the
+	// -debug-addr surface serves the same data.
+	Recorder *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.Recorder == nil {
+		c.Recorder = obs.NewFlightRecorder(0, 0, 0, 0)
+	}
 	return c
 }
 
@@ -118,6 +128,7 @@ type Server struct {
 	names    []string
 	adm      *admitter
 	cache    *resultCache
+	recorder *obs.FlightRecorder
 	draining atomic.Bool
 }
 
@@ -132,6 +143,7 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 		datasets: make(map[string]*Dataset, len(datasets)),
 		adm:      newAdmitter(cfg.Workers, cfg.QueueDepth),
 		cache:    newResultCache(cfg.CacheSize),
+		recorder: cfg.Recorder,
 	}
 	for _, ds := range datasets {
 		if ds.Name == "" || ds.Network == nil {
@@ -170,6 +182,14 @@ func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
 //	GET  /healthz              liveness (always 200 while the process runs)
 //	GET  /readyz               readiness (503 once draining)
 //	GET  /metrics              the shared obs registry
+//	GET  /debug/requests       flight recorder: recent completed requests
+//	GET  /debug/requests/slow  slow-query log (top-K by latency)
+//	GET  /debug/inflight       currently executing requests
+//
+// Every request is assigned a request ID (inbound X-Request-Id honored
+// when well-formed, generated otherwise) that is echoed in the
+// X-Request-Id response header and stamped on every log line the
+// request produces.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -187,7 +207,12 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.Handle("GET /metrics", obs.Default().Handler())
-	return s.withRecovery(mux)
+	mux.Handle("GET /debug/requests", s.recorder.RecentHandler())
+	mux.Handle("GET /debug/requests/slow", s.recorder.SlowHandler())
+	mux.Handle("GET /debug/inflight", s.recorder.InflightHandler())
+	// Request scoping sits outermost so the recovery layer's panic log
+	// already carries the request_id attribute.
+	return s.withRequestScope(s.withRecovery(mux))
 }
 
 // withRecovery converts handler panics into 500s so one poisoned
@@ -208,7 +233,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 				panic(rec)
 			}
 			mPanics.Inc()
-			s.cfg.Logger.Error("request handler panicked",
+			s.reqLogger(r.Context()).Error("request handler panicked",
 				"path", r.URL.Path, "panic", rec, "stack", string(debug.Stack()))
 			// Best effort: if the handler already started the response the
 			// extra header write is a no-op on a hijacked/committed stream.
@@ -234,12 +259,20 @@ func (s *Server) handleDiverse(w http.ResponseWriter, r *http.Request) {
 
 // serveSearch is the shared request pipeline: decode → validate →
 // resolve dataset → drain check → cache/singleflight → admission →
-// search → encode.
-func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string, latency *obs.Histogram) {
+// search → encode. Along the way it fills the request's flight-recorder
+// record (dataset, algorithm, params digest, queue wait, phase spans,
+// stats, outcome) and feeds the dataset/algorithm-labeled latency and
+// effort series.
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string, latency *obs.HistogramVec) {
 	start := time.Now()
+	rec := requestRecord(r.Context())
+	if rec == nil {
+		rec = &obs.RequestRecord{} // direct handler invocation in tests
+	}
+	dsLabel, algLabel := labelUnknown, labelUnknown
 	defer func() {
 		d := time.Since(start)
-		latency.Observe(d.Nanoseconds())
+		latency.With(dsLabel, algLabel).Observe(d.Nanoseconds())
 		if s.cfg.Tracer != nil {
 			s.cfg.Tracer.Span(obs.PhaseServe, d)
 		}
@@ -265,6 +298,13 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 		})
 		return
 	}
+	dsLabel = ds.Name
+	algLabel = req.Algorithm
+	if algLabel == "" {
+		algLabel = "vkc-deg"
+	}
+	rec.Dataset, rec.Algorithm = dsLabel, algLabel
+	s.recorder.Annotate(rec.ID, dsLabel, algLabel)
 	if s.draining.Load() {
 		mRejectDraining.Inc()
 		w.Header().Set("Retry-After", "5")
@@ -277,8 +317,10 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 	}
 
 	key := req.cacheKey(kind)
+	rec.ParamsDigest = key[:16]
 	if resp, ok := s.cache.lookup(key); ok {
 		mCacheHits.Inc()
+		rec.Outcome, rec.Stats = obs.OutcomeCached, resp.Stats
 		s.writeResponse(w, resp, "hit")
 		return
 	}
@@ -286,21 +328,34 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 	leader := false
 	resp, fromFlight, err := s.cache.do(r.Context(), key, func() (*QueryResponse, bool, error) {
 		leader = true
-		return s.runSearch(r.Context(), req, ds, kind)
+		return s.runSearch(r.Context(), req, ds, kind, rec)
 	})
 	switch {
 	case err == nil && fromFlight:
 		// Joined an identical in-flight search (or a store that landed
 		// while we waited) — no search of our own ran.
 		mCacheShared.Inc()
+		rec.Outcome, rec.Stats = obs.OutcomeCached, resp.Stats
 		s.writeResponse(w, resp, "shared")
 	case err == nil:
 		mCacheMisses.Inc()
+		switch {
+		case resp.Degraded:
+			rec.Outcome = obs.OutcomeDegraded
+		case resp.Partial:
+			rec.Outcome = obs.OutcomePartial
+		default:
+			rec.Outcome = obs.OutcomeOK
+		}
+		rec.Stats = resp.Stats
+		mSearchNodesSplit.With(dsLabel, algLabel).Add(resp.Stats.Nodes)
+		mSearchChecksSplit.With(dsLabel, algLabel).Add(resp.Stats.DistanceChecks)
 		s.writeResponse(w, resp, "miss")
 	default:
 		if leader {
 			mCacheMisses.Inc()
 		}
+		rec.Outcome, rec.Error = obs.OutcomeError, err.Error()
 		s.writeError(w, r, err)
 	}
 }
@@ -321,14 +376,15 @@ var testSearchHook func(kind string, req *QueryRequest)
 // it. The recover converts the panic into a plain 500 error, and the
 // deferred release (registered after acquire, so it runs first) still
 // returns the worker slot.
-func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Dataset, kind string) (resp *QueryResponse, shareable bool, err error) {
+func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Dataset, kind string, reqRec *obs.RequestRecord) (resp *QueryResponse, shareable bool, err error) {
+	logger := s.reqLogger(reqCtx)
 	defer func() {
 		rec := recover()
 		if rec == nil {
 			return
 		}
 		mPanics.Inc()
-		s.cfg.Logger.Error("search panicked",
+		logger.Error("search panicked",
 			"dataset", req.Dataset, "kind", kind, "panic", rec, "stack", string(debug.Stack()))
 		resp, shareable = nil, false
 		err = &apiError{
@@ -343,6 +399,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		return nil, false, err
 	}
 	defer s.adm.release()
+	reqRec.QueueWait = wait
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMillis > 0 {
@@ -380,13 +437,20 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		Tenuity:   req.Tenuity,
 		TopN:      req.TopN,
 	}
+	// The per-request collector captures the core's phase spans
+	// (compile, candidates, explore) for this request's flight-recorder
+	// record; the request-scoped logger makes core-level lines carry
+	// request_id.
+	phases := &obs.CollectTracer{}
 	opts := ktg.SearchOptions{
 		Algorithm: wireAlgorithms[req.Algorithm],
 		Index:     ds.Index,
 		MaxNodes:  req.MaxNodes,
 		Context:   ctx,
-		Logger:    s.cfg.Logger,
+		Logger:    logger,
+		Tracer:    phases,
 	}
+	defer func() { reqRec.Phases = phases.Spans() }()
 
 	resp = &QueryResponse{Dataset: ds.Name, Algorithm: req.Algorithm}
 	if resp.Algorithm == "" {
@@ -397,7 +461,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		resp.Algorithm = "greedy"
 		resp.Degraded = true
 		resp.DegradedReason = degradedReason
-		s.cfg.Logger.Warn("degrading exact search to greedy",
+		logger.Warn("degrading exact search to greedy",
 			"dataset", req.Dataset, "reason", degradedReason, "queue_wait", wait)
 	}
 	var res *ktg.Result
@@ -456,6 +520,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	mDatasetsRequests.Inc()
 	start := time.Now()
 	defer func() { mDatasetsLatency.Observe(time.Since(start).Nanoseconds()) }()
 	type datasetJSON struct {
@@ -483,9 +548,9 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
 }
 
-func (s *Server) handleInvalidate(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	n := s.cache.invalidate()
-	s.cfg.Logger.Info("result cache invalidated", "entries", n)
+	s.reqLogger(r.Context()).Info("result cache invalidated", "entries", n)
 	writeJSON(w, http.StatusOK, map[string]any{"invalidated": n})
 }
 
@@ -518,14 +583,14 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client is gone; the status code is for logs only.
 		mCancelled.Inc()
-		s.cfg.Logger.Info("request abandoned by client", "path", r.URL.Path)
+		s.reqLogger(r.Context()).Info("request abandoned by client", "path", r.URL.Path)
 		writeAPIError(w, &apiError{
 			Status:  http.StatusServiceUnavailable,
 			Code:    "client_gone",
 			Message: "request context cancelled before a result was ready",
 		})
 	default:
-		s.cfg.Logger.Error("query failed", "path", r.URL.Path, "err", err)
+		s.reqLogger(r.Context()).Error("query failed", "path", r.URL.Path, "err", err)
 		writeAPIError(w, &apiError{
 			Status:  http.StatusInternalServerError,
 			Code:    "internal",

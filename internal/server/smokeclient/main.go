@@ -62,16 +62,23 @@ func post(client *http.Client, url, body string, wantStatus int) map[string]any 
 		fail("POST %s: %v", url, err)
 	}
 	defer resp.Body.Close()
+	// The server echoes (or assigns) a request ID per request; printing
+	// it on failures lets an operator pull the exact record from
+	// /debug/requests and the server log.
+	rid := resp.Header.Get("X-Request-Id")
+	if rid == "" {
+		fail("POST %s: response lacks an X-Request-Id header", url)
+	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		fail("POST %s: reading body: %v", url, err)
+		fail("POST %s [request_id=%s]: reading body: %v", url, rid, err)
 	}
 	if resp.StatusCode != wantStatus {
-		fail("POST %s: status %d, want %d: %s", url, resp.StatusCode, wantStatus, raw)
+		fail("POST %s [request_id=%s]: status %d, want %d: %s", url, rid, resp.StatusCode, wantStatus, raw)
 	}
 	var out map[string]any
 	if err := json.Unmarshal(raw, &out); err != nil {
-		fail("POST %s: response is not JSON: %v: %s", url, err, raw)
+		fail("POST %s [request_id=%s]: response is not JSON: %v: %s", url, rid, err, raw)
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package ktg
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"time"
@@ -45,6 +46,25 @@ const (
 // discards all records, so instrumentation is free until opted in.
 // Passing nil restores the silent default.
 func SetDefaultLogger(l *slog.Logger) { obs.SetLogger(l) }
+
+// NewRequestID returns a fresh random request identifier (16 hex
+// chars), the same generator the query server uses for requests that
+// arrive without an X-Request-Id header.
+func NewRequestID() string { return obs.NewRequestID() }
+
+// WithRequestID returns a context carrying a request ID. Searches run
+// with this context (SearchOptions.Context) correlate their core-level
+// log lines with the ID even when no request-scoped logger was
+// injected, and server-side records pick it up end to end.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
+// RequestIDFromContext returns the request ID attached by
+// WithRequestID, or "" when none is present.
+func RequestIDFromContext(ctx context.Context) string {
+	return obs.RequestIDFromContext(ctx)
+}
 
 // StartDebugServer serves the library's observability surface on addr
 // (e.g. ":6060"): Prometheus-text metrics on /metrics (?format=json for

@@ -9,6 +9,10 @@ cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
+./scripts/check_metrics_docs.sh
+# The observability packages carry the concurrency-heavy request-scope
+# machinery; race-test them explicitly (and first), then everything.
+go test -race ./internal/obs ./internal/server
 go test -race ./...
 
 # --- query-server end-to-end smoke -----------------------------------
