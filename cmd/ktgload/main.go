@@ -1,0 +1,306 @@
+// Command ktgload replays a query workload against a running ktgserver
+// through the resilient internal/client and reports latency quantiles
+// plus resilience counters (retries, Retry-After honors, hedge wins,
+// breaker trips). It is the measurement half of the chaos story: point
+// it at a `ktgserver -chaos ...` and it proves — or disproves — that
+// the client absorbs a configured fault rate without losing queries.
+//
+// The workload comes from internal/workload: either regenerated
+// deterministically from the same preset/scale the server loaded (the
+// preset generator is deterministic, so keyword ids line up), or
+// replayed from a file written by workload.SaveQueries.
+//
+// Usage:
+//
+//	ktgload -addr 127.0.0.1:8080 -preset brightkite -scale 0.02 -queries 50
+//	ktgload -addr :8080 -replay queries.txt -concurrency 8 -hedge-delay 25ms
+//
+// Exit status is non-zero if any query is lost (no answer within
+// -patience) or any answer is malformed (wrong group size, covered
+// keywords outside the query, non-positive QKC bound).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ktg/internal/client"
+	"ktg/internal/cliutil"
+	"ktg/internal/gen"
+	"ktg/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "server address (host:port or full http:// URL)")
+		preset      = flag.String("preset", "brightkite", "dataset preset the server is serving (keywords are sampled from a local regeneration)")
+		scale       = flag.Float64("scale", 0.02, "preset scale factor; must match the server's -scale")
+		replayPath  = flag.String("replay", "", "replay query keyword ids from this workload.SaveQueries file instead of sampling")
+		queries     = flag.Int("queries", 50, "number of queries to run")
+		concurrency = flag.Int("concurrency", 4, "concurrent in-flight queries")
+		seed        = flag.Int64("seed", 42, "workload + jitter seed")
+		groupSize   = flag.Int("p", workload.DefaultParams.P, "group size p")
+		tenuity     = flag.Int("k", workload.DefaultParams.K, "tenuity constraint k")
+		kwCount     = flag.Int("w", workload.DefaultParams.W, "query keyword count |W_Q|")
+		topN        = flag.Int("n", 0, "top-N (0 = single-group /v1/query)")
+		diverse     = flag.Bool("diverse", false, "hit /v1/diverse instead of /v1/query (implies -n if unset)")
+		algorithm   = flag.String("algorithm", "", "algorithm override passed to the server (empty = server default)")
+		patience    = flag.Duration("patience", 2*time.Minute, "total wall-clock budget per query, outer retries included")
+		attemptTO   = flag.Duration("attempt-timeout", 10*time.Second, "per-HTTP-attempt timeout")
+		maxAttempts = flag.Int("max-attempts", 6, "client attempts per logical call")
+		hedgeDelay  = flag.Duration("hedge-delay", 0, "launch a hedged second attempt after this delay (0 = off)")
+		verbose     = flag.Bool("v", false, "log every query result")
+	)
+	flag.Parse()
+	cliutil.MustScale("ktgload", *scale)
+	if *queries <= 0 || *concurrency <= 0 {
+		cliutil.BadUsage("ktgload", "-queries and -concurrency must be positive")
+	}
+	if *diverse && *topN <= 0 {
+		*topN = workload.DefaultParams.N
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		if strings.HasPrefix(base, ":") {
+			base = "127.0.0.1" + base
+		}
+		base = "http://" + base
+	}
+
+	kwSets, err := buildWorkload(*replayPath, *preset, *scale, *seed, *queries, *kwCount)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ktgload: %v\n", err)
+		os.Exit(1)
+	}
+
+	cl, err := client.New(client.Config{
+		BaseURL: base,
+		// The load driver retries hard on purpose: its job is proving no
+		// query is lost, so the patience loop below re-spends budget the
+		// chaos faults burn. The budget still exists to bound storms.
+		MaxAttempts:    *maxAttempts,
+		AttemptTimeout: *attemptTO,
+		HedgeDelay:     *hedgeDelay,
+		RetryBudget:    -1, // unlimited: lost-query detection owns pacing
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ktgload: %v\n", err)
+		os.Exit(1)
+	}
+	waitHealthy(cl)
+
+	type result struct {
+		idx     int
+		latency time.Duration
+		resp    *client.Response
+		err     error
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results = make([]result, len(kwSets))
+		next    = make(chan int)
+	)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := &client.Request{
+					Dataset:   *preset,
+					Keywords:  kwSets[i],
+					GroupSize: *groupSize,
+					Tenuity:   *tenuity,
+					TopN:      *topN,
+					Algorithm: *algorithm,
+				}
+				t0 := time.Now()
+				resp, err := runWithPatience(cl, req, *diverse, *patience)
+				r := result{idx: i, latency: time.Since(t0), resp: resp, err: err}
+				mu.Lock()
+				results[i] = r
+				mu.Unlock()
+				if *verbose {
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "ktgload: query %d LOST after %v: %v\n", i, r.latency, err)
+					} else {
+						fmt.Fprintf(os.Stderr, "ktgload: query %d ok in %v (attempts=%d hedged=%v groups=%d)\n",
+							i, r.latency, resp.Attempts, resp.Hedged, len(resp.Groups))
+					}
+				}
+			}
+		}()
+	}
+	for i := range kwSets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	lost, malformed := 0, 0
+	latencies := make([]time.Duration, 0, len(results))
+	for i, r := range results {
+		if r.err != nil {
+			lost++
+			fmt.Fprintf(os.Stderr, "ktgload: LOST query %d (keywords %v): %v\n", i, kwSets[i], r.err)
+			continue
+		}
+		latencies = append(latencies, r.latency)
+		if msg := validate(r.resp, kwSets[i], *groupSize); msg != "" {
+			malformed++
+			fmt.Fprintf(os.Stderr, "ktgload: MALFORMED answer to query %d: %s\n", i, msg)
+		}
+	}
+
+	report(os.Stdout, elapsed, latencies, cl.Stats(), lost, malformed, len(kwSets))
+	if lost > 0 || malformed > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildWorkload produces the query keyword-name sets: replayed from a
+// file, or sampled from a local regeneration of the server's preset
+// (gen.GeneratePreset is deterministic, so the vocabulary matches).
+func buildWorkload(replayPath, preset string, scale float64, seed int64, queries, kwCount int) ([][]string, error) {
+	ds, err := gen.GeneratePreset(preset, scale)
+	if err != nil {
+		return nil, err
+	}
+	g := workload.NewGenerator(ds, seed)
+	var sets [][]string
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		batch, err := workload.LoadQueries(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, ids := range batch {
+			sets = append(sets, g.KeywordNames(ids))
+		}
+		return sets, nil
+	}
+	for _, ids := range g.Batch(queries, kwCount) {
+		sets = append(sets, g.KeywordNames(ids))
+	}
+	return sets, nil
+}
+
+// waitHealthy polls /healthz briefly so a freshly exec'd server does
+// not count startup races as lost queries.
+func waitHealthy(cl *client.Client) {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := cl.Health(context.Background()); err == nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// Not fatal: the query loop's own retries give the final verdict.
+	fmt.Fprintln(os.Stderr, "ktgload: warning: server not healthy after 15s, proceeding anyway")
+}
+
+// runWithPatience keeps re-issuing one logical call until it succeeds
+// or the patience budget expires. The client already retries within a
+// call; this outer loop additionally rides out breaker-open windows
+// and exhausted attempt counts, because the driver's contract is "no
+// query may be lost while the server is actually up".
+func runWithPatience(cl *client.Client, req *client.Request, diverse bool, patience time.Duration) (*client.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), patience)
+	defer cancel()
+	var lastErr error
+	for {
+		var (
+			resp *client.Response
+			err  error
+		)
+		if diverse {
+			resp, err = cl.Diverse(ctx, req)
+		} else {
+			resp, err = cl.Query(ctx, req)
+		}
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("patience %v exhausted: %w", patience, lastErr)
+		}
+		// Breaker-open rejections are instant; pause so the cooldown can
+		// elapse instead of spinning.
+		if errors.Is(err, client.ErrCircuitOpen) {
+			select {
+			case <-time.After(250 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("patience %v exhausted: %w", patience, lastErr)
+			}
+		}
+	}
+}
+
+// validate checks structural well-formedness of an answer: group sizes
+// respect p, covered keywords are a subset of the query's, and QKC
+// fractions are sane. (Semantic equivalence to a fault-free run is the
+// soak test's job; the driver checks what it can without ground truth.)
+func validate(resp *client.Response, kws []string, p int) string {
+	asked := make(map[string]bool, len(kws))
+	for _, k := range kws {
+		asked[k] = true
+	}
+	for gi, g := range resp.Groups {
+		if len(g.Members) == 0 || len(g.Members) > p {
+			return fmt.Sprintf("group %d has %d members, want 1..%d", gi, len(g.Members), p)
+		}
+		seen := make(map[int]bool, len(g.Members))
+		for _, m := range g.Members {
+			if seen[m] {
+				return fmt.Sprintf("group %d repeats member %d", gi, m)
+			}
+			seen[m] = true
+		}
+		for _, k := range g.Covered {
+			if !asked[k] {
+				return fmt.Sprintf("group %d claims to cover %q, which was never asked", gi, k)
+			}
+		}
+		if g.QKC < 0 || g.QKC > 1 {
+			return fmt.Sprintf("group %d has QKC %v outside [0,1]", gi, g.QKC)
+		}
+	}
+	return ""
+}
+
+// report prints the human summary: throughput, latency quantiles, and
+// the resilience counters that show what the run cost.
+func report(w *os.File, elapsed time.Duration, lats []time.Duration, st client.Stats, lost, malformed, total int) {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	fmt.Fprintf(w, "ktgload: %d queries in %v (%.1f q/s), %d lost, %d malformed\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), lost, malformed)
+	fmt.Fprintf(w, "  latency  p50=%v p95=%v p99=%v max=%v\n",
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), q(1.0).Round(time.Microsecond))
+	fmt.Fprintf(w, "  client   attempts=%d retries=%d retry_after_honored=%d hedges=%d hedge_wins=%d\n",
+		st.Attempts, st.Retries, st.RetryAfterHonored, st.Hedges, st.HedgeWins)
+	fmt.Fprintf(w, "  breaker  trips=%d rejects=%d   degraded=%d partial=%d errors=%d\n",
+		st.BreakerTrips, st.BreakerRejects, st.Degraded, st.Partial, st.Errors)
+}

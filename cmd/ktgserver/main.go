@@ -66,6 +66,7 @@ import (
 	"time"
 
 	"ktg"
+	"ktg/internal/chaos"
 	"ktg/internal/cliutil"
 	"ktg/internal/obs"
 	"ktg/internal/server"
@@ -93,6 +94,7 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this extra address")
 		slowQueryMS  = flag.Int("slow-query-ms", 250, "latency (ms) at or above which a request enters the slow-query log and is warned about (negative disables)")
 		recorderSize = flag.Int("flight-recorder", 256, "completed requests retained by the /debug/requests flight recorder (negative disables the ring)")
+		chaosSpec    = flag.String("chaos", "", "TESTING ONLY: deterministic fault-injection spec, e.g. 'seed=7,latency=0.1:1ms-20ms,e429=0.1:0,e500=0.1,reset=0.05,truncate=0.05' (see internal/chaos; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -171,12 +173,29 @@ func main() {
 		fatal(logger, err)
 	}
 
+	handler := srv.Handler()
+	// Fault injection never enables silently: it requires an explicit
+	// -chaos spec that actually injects something, and announces itself
+	// at warning level before the listener opens.
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fatal(logger, err)
+		}
+		if !spec.Active() {
+			fatal(logger, errors.New("ktgserver: -chaos spec enables no faults; refusing to start chaos injection"))
+		}
+		handler = chaos.New(spec).Wrap(handler)
+		logger.Warn("CHAOS INJECTION ENABLED: this server deliberately delays, fails, and corrupts responses",
+			"spec", spec.String(), "seed", spec.Seed, "scoped_paths", strings.Join(spec.Paths(), ","))
+	}
+
 	// baseCtx parents every request context; cancelling it is the
 	// force-stop lever when draining overruns its budget.
 	baseCtx, forceCancel := context.WithCancel(context.Background())
 	defer forceCancel()
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}

@@ -1,0 +1,403 @@
+// Package chaos is scripted fault injection for the HTTP serving path,
+// the network-layer sibling of internal/faultio's disk faults: a
+// deterministic, seeded http.Handler middleware that injects latency,
+// 429/500/503 responses, connection resets, and truncated bodies at
+// configurable per-endpoint rates. It exists to prove the resilience
+// story end to end — internal/client's retries, breaker, and
+// Retry-After handling are only trustworthy because the soak tests and
+// verify.sh replay real workloads through this middleware and demand
+// zero lost or incorrect queries.
+//
+// Faults are drawn from a PRNG seeded with `seed + request sequence
+// number`, so a fixed seed over a serial request stream reproduces the
+// exact same fault script run after run (under concurrency the
+// assignment of sequence numbers to requests follows arrival order,
+// but the multiset of injected faults is still reproducible).
+//
+// Injection is deliberately explicit: ktgserver only enables it behind
+// the -chaos flag, refuses a spec that enables no faults, and logs a
+// loud warning — a production operator cannot turn this on by
+// accident.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ktg/internal/obs"
+)
+
+// Injection metrics, per fault kind, on the shared obs registry so a
+// chaos run's server-side story is visible on /metrics next to the
+// ktg_server_* rejection counters it causes.
+var (
+	mRequests = obs.Default().Counter(
+		"ktg_chaos_requests_total", "requests that passed through the chaos middleware")
+	mInjected = obs.Default().CounterVec(
+		"ktg_chaos_injected_total", "faults injected by the chaos middleware, by fault kind",
+		"fault")
+)
+
+// Rates are the per-endpoint fault probabilities, all in [0, 1].
+// Faults are drawn independently in a fixed order (latency, reset,
+// e429, e500, e503, truncate); latency composes with the others, the
+// rest are mutually exclusive per request.
+type Rates struct {
+	// Latency injects a uniform sleep in [LatencyMin, LatencyMax]
+	// before the request proceeds (or before another fault fires).
+	Latency                float64
+	LatencyMin, LatencyMax time.Duration
+	// E429 answers with 429 + a Retry-After header of RetryAfterSecs
+	// seconds. Even-numbered injections send the delta-seconds form,
+	// odd-numbered the HTTP-date form, so both parser paths in clients
+	// get exercised.
+	E429           float64
+	RetryAfterSecs int
+	// E500 / E503 answer with a structured 500 / 503.
+	E500 float64
+	E503 float64
+	// Reset aborts the connection without writing a response (the
+	// client observes EOF / connection reset).
+	Reset float64
+	// Truncate runs the real handler, then sends only half the response
+	// body under a full-length Content-Length and kills the connection
+	// (the client observes an unexpected EOF mid-body).
+	Truncate float64
+}
+
+// active reports whether any fault can fire.
+func (r Rates) active() bool {
+	return r.Latency > 0 || r.E429 > 0 || r.E500 > 0 || r.E503 > 0 || r.Reset > 0 || r.Truncate > 0
+}
+
+// override is one path-scoped rate adjustment from the spec.
+type override struct {
+	path  string
+	apply func(*Rates)
+}
+
+// Spec is a parsed chaos specification: default rates applying to
+// every /v1/* endpoint plus per-path overrides.
+type Spec struct {
+	Seed      int64
+	Default   Rates
+	overrides []override
+	display   string
+}
+
+// ParseSpec parses a chaos spec string: comma-separated
+// `key[@path]=value` clauses.
+//
+//	seed=N                 PRNG seed (default 1)
+//	latency=RATE:MIN-MAX   uniform added latency, e.g. latency=0.2:5ms-50ms
+//	e429=RATE[:SECS]       429 + Retry-After SECS (default 1)
+//	e500=RATE              structured 500
+//	e503=RATE              structured 503
+//	reset=RATE             connection abort, no response
+//	truncate=RATE          half a body under a full Content-Length, then abort
+//
+// A clause without @path applies to every /v1/* endpoint; `key@path=`
+// overrides that fault's rate for exactly that path (any path, not
+// just /v1/*). Example:
+//
+//	seed=7,latency=0.1:1ms-20ms,e500=0.1,reset=0.05,e429@/v1/query=0.3:0
+func ParseSpec(s string) (*Spec, error) {
+	spec := &Spec{Seed: 1, display: s}
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("chaos: empty spec")
+	}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: clause %q is not key=value", clause)
+		}
+		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
+		key, path, scoped := strings.Cut(key, "@")
+		if scoped && (path == "" || !strings.HasPrefix(path, "/")) {
+			return nil, fmt.Errorf("chaos: clause %q: @path must start with /", clause)
+		}
+		if key == "seed" {
+			if scoped {
+				return nil, fmt.Errorf("chaos: seed cannot be path-scoped")
+			}
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %v", value, err)
+			}
+			spec.Seed = n
+			continue
+		}
+		apply, err := parseFault(key, value)
+		if err != nil {
+			return nil, err
+		}
+		if scoped {
+			spec.overrides = append(spec.overrides, override{path: path, apply: apply})
+		} else {
+			apply(&spec.Default)
+		}
+	}
+	return spec, nil
+}
+
+// parseFault parses one fault clause into a Rates mutation.
+func parseFault(key, value string) (func(*Rates), error) {
+	rateStr, arg, hasArg := strings.Cut(value, ":")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("chaos: %s rate %q must be a number in [0, 1]", key, rateStr)
+	}
+	switch key {
+	case "latency":
+		if !hasArg {
+			return nil, fmt.Errorf("chaos: latency needs a duration range, e.g. latency=%g:5ms-50ms", rate)
+		}
+		minStr, maxStr, ok := strings.Cut(arg, "-")
+		if !ok {
+			return nil, fmt.Errorf("chaos: latency range %q must be MIN-MAX", arg)
+		}
+		lo, err1 := time.ParseDuration(minStr)
+		hi, err2 := time.ParseDuration(maxStr)
+		if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+			return nil, fmt.Errorf("chaos: bad latency range %q", arg)
+		}
+		return func(r *Rates) { r.Latency, r.LatencyMin, r.LatencyMax = rate, lo, hi }, nil
+	case "e429":
+		secs := 1
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("chaos: bad e429 Retry-After seconds %q", arg)
+			}
+			secs = n
+		}
+		return func(r *Rates) { r.E429, r.RetryAfterSecs = rate, secs }, nil
+	case "e500", "e503", "reset", "truncate":
+		if hasArg {
+			return nil, fmt.Errorf("chaos: %s takes no argument after the rate", key)
+		}
+		switch key {
+		case "e500":
+			return func(r *Rates) { r.E500 = rate }, nil
+		case "e503":
+			return func(r *Rates) { r.E503 = rate }, nil
+		case "reset":
+			return func(r *Rates) { r.Reset = rate }, nil
+		default:
+			return func(r *Rates) { r.Truncate = rate }, nil
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown fault %q (valid: seed, latency, e429, e500, e503, reset, truncate)", key)
+	}
+}
+
+// Active reports whether the spec can inject at least one fault
+// anywhere. ktgserver refuses to start chaos with an inactive spec —
+// enabling the middleware must be an explicit, visible decision.
+func (s *Spec) Active() bool {
+	if s.Default.active() {
+		return true
+	}
+	for _, o := range s.overrides {
+		var r Rates
+		o.apply(&r)
+		if r.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns the original spec text for logging.
+func (s *Spec) String() string { return s.display }
+
+// ratesFor resolves the effective rates for one request path: the
+// default rates (for /v1/* paths only — health, metrics, and debug
+// surfaces stay clean so operators can observe the chaos they asked
+// for) plus any path-scoped overrides, which apply to any path.
+func (s *Spec) ratesFor(path string) Rates {
+	var r Rates
+	if strings.HasPrefix(path, "/v1/") {
+		r = s.Default
+	}
+	for _, o := range s.overrides {
+		if o.path == path {
+			o.apply(&r)
+		}
+	}
+	return r
+}
+
+// Paths returns the sorted set of paths with overrides (for logs).
+func (s *Spec) Paths() []string {
+	seen := map[string]bool{}
+	for _, o := range s.overrides {
+		seen[o.path] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Middleware injects the spec's faults into a wrapped handler.
+type Middleware struct {
+	spec *Spec
+	seq  atomic.Int64
+}
+
+// New returns a Middleware for the spec.
+func New(spec *Spec) *Middleware { return &Middleware{spec: spec} }
+
+// seqPrime decorrelates per-request PRNG streams derived from
+// consecutive sequence numbers.
+const seqPrime = int64(0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF)
+
+// Wrap returns next with fault injection in front of it.
+func (m *Middleware) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rates := m.spec.ratesFor(r.URL.Path)
+		if !rates.active() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		mRequests.Inc()
+		seq := m.seq.Add(1)
+		rng := rand.New(rand.NewSource(m.spec.Seed ^ seq*seqPrime))
+
+		if hit(rng, rates.Latency) {
+			mInjected.With("latency").Inc()
+			span := rates.LatencyMax - rates.LatencyMin
+			d := rates.LatencyMin
+			if span > 0 {
+				d += time.Duration(rng.Int63n(int64(span) + 1))
+			}
+			_ = sleepCtx(r, d)
+		}
+		if hit(rng, rates.Reset) {
+			mInjected.With("reset").Inc()
+			// net/http's own control flow for a deliberately aborted
+			// response: the connection closes with nothing written.
+			panic(http.ErrAbortHandler)
+		}
+		if hit(rng, rates.E429) {
+			mInjected.With("e429").Inc()
+			writeRetryAfter(w, rates.RetryAfterSecs, seq%2 == 1)
+			writeChaosError(w, http.StatusTooManyRequests, "chaos_overloaded")
+			return
+		}
+		if hit(rng, rates.E500) {
+			mInjected.With("e500").Inc()
+			writeChaosError(w, http.StatusInternalServerError, "chaos_internal")
+			return
+		}
+		if hit(rng, rates.E503) {
+			mInjected.With("e503").Inc()
+			writeChaosError(w, http.StatusServiceUnavailable, "chaos_unavailable")
+			return
+		}
+		if hit(rng, rates.Truncate) {
+			mInjected.With("truncate").Inc()
+			truncateResponse(w, r, next)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// hit draws one independent fault decision.
+func hit(rng *rand.Rand, rate float64) bool {
+	return rate > 0 && rng.Float64() < rate
+}
+
+// sleepCtx sleeps for d or until the request context is done.
+func sleepCtx(r *http.Request, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+// writeRetryAfter sets the Retry-After header, alternating between the
+// delta-seconds and HTTP-date forms RFC 9110 allows.
+func writeRetryAfter(w http.ResponseWriter, secs int, asDate bool) {
+	if asDate {
+		w.Header().Set("Retry-After",
+			time.Now().Add(time.Duration(secs)*time.Second).UTC().Format(http.TimeFormat))
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// writeChaosError answers with the server's structured error shape so
+// clients exercise the same decode path as for real rejections.
+func writeChaosError(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":{"code":%q,"message":"injected by chaos middleware"}}`, code)
+}
+
+// bufferedResponse captures a handler's full response so truncation
+// can cut it at a known midpoint.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   []byte
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+// truncateResponse runs the real handler to completion, then replays
+// only half the body under the full Content-Length and aborts the
+// connection — the torn-write of the network world: the server did the
+// work (and may have cached the result), the client must detect the
+// damage and retry.
+func truncateResponse(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	buf := &bufferedResponse{header: make(http.Header)}
+	next.ServeHTTP(buf, r)
+	if buf.code == 0 {
+		buf.code = http.StatusOK
+	}
+	for k, vs := range buf.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf.body)))
+	w.WriteHeader(buf.code)
+	if len(buf.body) > 0 {
+		_, _ = w.Write(buf.body[:len(buf.body)/2])
+	}
+	panic(http.ErrAbortHandler)
+}

@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler answers every request with a fixed JSON body.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, `{"ok":true,"pad":"0123456789012345678901234567890123456789"}`)
+	})
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"latency",               // not key=value
+		"bogus=0.5",             // unknown fault
+		"e500=1.5",              // rate out of range
+		"e500=-0.1",             // negative rate
+		"e500=abc",              // non-numeric rate
+		"latency=0.5",           // missing duration range
+		"latency=0.5:10ms",      // not MIN-MAX
+		"latency=0.5:50ms-10ms", // inverted range
+		"e429=0.5:-1",           // negative Retry-After
+		"e500=0.5:7",            // argument on argless fault
+		"seed=xyz",              // bad seed
+		"seed@/v1/query=3",      // scoped seed
+		"e500@nopath=0.5",       // scope not starting with /
+	}
+	for _, spec := range cases {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec, err := ParseSpec("seed=42, latency=0.25:5ms-50ms, e429=0.1:0, e500=0.05, e503=0.02, reset=0.03, truncate=0.04, e500@/v1/diverse=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 42 {
+		t.Fatalf("seed = %d, want 42", spec.Seed)
+	}
+	d := spec.Default
+	if d.Latency != 0.25 || d.LatencyMin != 5*time.Millisecond || d.LatencyMax != 50*time.Millisecond {
+		t.Fatalf("latency parsed wrong: %+v", d)
+	}
+	if d.E429 != 0.1 || d.RetryAfterSecs != 0 || d.E500 != 0.05 || d.E503 != 0.02 || d.Reset != 0.03 || d.Truncate != 0.04 {
+		t.Fatalf("rates parsed wrong: %+v", d)
+	}
+	if !spec.Active() {
+		t.Fatal("spec should be active")
+	}
+	// The /v1/diverse override bumps only e500, only there.
+	if r := spec.ratesFor("/v1/diverse"); r.E500 != 0.9 || r.E429 != 0.1 {
+		t.Fatalf("scoped rates = %+v", r)
+	}
+	if r := spec.ratesFor("/v1/query"); r.E500 != 0.05 {
+		t.Fatalf("unscoped rates leaked the override: %+v", r)
+	}
+	// Default rates apply only under /v1/.
+	if r := spec.ratesFor("/healthz"); r.active() {
+		t.Fatalf("/healthz should see no faults, got %+v", r)
+	}
+	if got := spec.Paths(); len(got) != 1 || got[0] != "/v1/diverse" {
+		t.Fatalf("Paths() = %v", got)
+	}
+}
+
+func TestScopedOverrideReachesNonV1Paths(t *testing.T) {
+	spec, err := ParseSpec("e503@/healthz=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Active() {
+		t.Fatal("scoped-only spec should be active")
+	}
+	if r := spec.ratesFor("/healthz"); r.E503 != 1.0 {
+		t.Fatalf("scoped override on non-/v1 path lost: %+v", r)
+	}
+}
+
+func TestInactiveSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Active() {
+		t.Fatal("seed-only spec must be inactive")
+	}
+}
+
+// TestDeterministicInjection runs the same serial request stream twice
+// with the same seed and demands the identical per-request fault
+// script.
+func TestDeterministicInjection(t *testing.T) {
+	run := func() []int {
+		spec, err := ParseSpec("seed=7,e429=0.2:0,e500=0.2,e503=0.2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(New(spec).Wrap(okHandler()))
+		defer ts.Close()
+		codes := make([]int, 0, 50)
+		for i := 0; i < 50; i++ {
+			res, err := http.Get(ts.URL + "/v1/query")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, res.Body)
+			res.Body.Close()
+			codes = append(codes, res.StatusCode)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	injected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: run1=%d run2=%d — injection not deterministic", i, a[i], b[i])
+		}
+		if a[i] != http.StatusOK {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("50 requests at 60% combined error rate injected nothing")
+	}
+}
+
+func TestInjected429CarriesRetryAfterBothForms(t *testing.T) {
+	spec, err := ParseSpec("seed=3,e429=1.0:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(spec).Wrap(okHandler()))
+	defer ts.Close()
+	sawDelta, sawDate := false, false
+	for i := 0; i < 6; i++ {
+		res, err := http.Get(ts.URL + "/v1/query")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429", res.StatusCode)
+		}
+		if !strings.Contains(string(body), "chaos_overloaded") {
+			t.Fatalf("429 body lacks structured error: %s", body)
+		}
+		ra := res.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		if ra == "2" {
+			sawDelta = true
+		} else if t2, err := http.ParseTime(ra); err == nil && time.Until(t2) > 0 {
+			sawDate = true
+		} else {
+			t.Fatalf("unparseable Retry-After %q", ra)
+		}
+	}
+	if !sawDelta || !sawDate {
+		t.Fatalf("want both Retry-After forms over 6 injections, got delta=%v date=%v", sawDelta, sawDate)
+	}
+}
+
+func TestResetAbortsConnection(t *testing.T) {
+	spec, err := ParseSpec("reset=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(spec).Wrap(okHandler()))
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/v1/query")
+	if err == nil {
+		res.Body.Close()
+		t.Fatalf("expected a transport error, got status %d", res.StatusCode)
+	}
+}
+
+func TestTruncateProducesDetectableDamage(t *testing.T) {
+	spec, err := ParseSpec("truncate=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(spec).Wrap(okHandler()))
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		// Aborting before headers flush is also acceptable damage.
+		return
+	}
+	defer res.Body.Close()
+	body, readErr := io.ReadAll(res.Body)
+	if readErr == nil {
+		t.Fatalf("truncated body read cleanly (%d bytes: %q); client could not detect the damage", len(body), body)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	spec, err := ParseSpec("latency=1.0:30ms-30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(spec).Wrap(okHandler()))
+	defer ts.Close()
+	start := time.Now()
+	res, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 30ms injected latency", elapsed)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("latency-only fault changed the status to %d", res.StatusCode)
+	}
+}
+
+func TestNonV1PathsUntouchedByDefaultRates(t *testing.T) {
+	spec, err := ParseSpec("reset=1.0,e500=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(spec).Wrap(okHandler()))
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz got chaos status %d", res.StatusCode)
+	}
+}

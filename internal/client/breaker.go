@@ -1,0 +1,163 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exposed for the ktg_client_breaker_state gauge and
+// tests.
+const (
+	StateClosed   = 0
+	StateHalfOpen = 1
+	StateOpen     = 2
+)
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive breaker-relevant failures
+	// (transport errors, 5xx) that opens the circuit (default 5;
+	// negative disables the breaker entirely).
+	Threshold int
+	// Cooldown is how long an open circuit rejects calls before letting
+	// a single probe request through (default 2s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// breaker is a closed → open → half-open circuit breaker. Closed, it
+// counts consecutive failures; at the threshold it opens and rejects
+// every call for the cooldown. After the cooldown exactly one call is
+// admitted as a probe (half-open): if the probe succeeds the circuit
+// closes, if it fails the circuit re-opens for another cooldown. The
+// probe discipline matters — letting the whole backlog through on the
+// first tick would re-overwhelm a barely recovered server.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	disabled  bool
+	onTrip    func()
+	onState   func(state int)
+
+	mu        sync.Mutex
+	state     int
+	failures  int       // consecutive failures while closed
+	openUntil time.Time // end of the current cooldown while open
+	probing   bool      // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig, onTrip func(), onState func(int)) *breaker {
+	cfg = cfg.withDefaults()
+	b := &breaker{
+		threshold: cfg.Threshold,
+		cooldown:  cfg.Cooldown,
+		disabled:  cfg.Threshold < 0,
+		onTrip:    onTrip,
+		onState:   onState,
+	}
+	if onState != nil {
+		onState(StateClosed)
+	}
+	return b
+}
+
+// allow gates one attempt. It returns probe=true when this attempt is
+// the half-open probe (the caller must pass it back to record), and
+// ErrCircuitOpen when the circuit is rejecting calls.
+func (b *breaker) allow(now time.Time) (probe bool, err error) {
+	if b.disabled {
+		return false, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return false, nil
+	case StateOpen:
+		if now.Before(b.openUntil) {
+			return false, ErrCircuitOpen
+		}
+		b.setState(StateHalfOpen)
+		b.probing = true
+		return true, nil
+	default: // StateHalfOpen
+		if b.probing {
+			return false, ErrCircuitOpen
+		}
+		b.probing = true
+		return true, nil
+	}
+}
+
+// record settles an attempt admitted by allow.
+func (b *breaker) record(ok, probe bool, now time.Time) {
+	if b.disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if ok {
+			b.failures = 0
+			b.setState(StateClosed)
+			return
+		}
+		b.trip(now)
+		return
+	}
+	if b.state != StateClosed {
+		// A pre-trip attempt finishing late; the circuit has already
+		// decided.
+		return
+	}
+	if ok {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.trip(now)
+	}
+}
+
+// trip opens the circuit for one cooldown. Callers hold b.mu.
+func (b *breaker) trip(now time.Time) {
+	b.failures = 0
+	b.openUntil = now.Add(b.cooldown)
+	b.setState(StateOpen)
+	if b.onTrip != nil {
+		b.onTrip()
+	}
+}
+
+// setState transitions and notifies. Callers hold b.mu.
+func (b *breaker) setState(s int) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.onState != nil {
+		b.onState(s)
+	}
+}
+
+// State reports the current breaker state (for tests and stats).
+func (b *breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerState reports the client's current circuit state: StateClosed,
+// StateHalfOpen, or StateOpen.
+func (c *Client) BreakerState() int { return c.br.State() }

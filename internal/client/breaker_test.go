@@ -1,0 +1,124 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *int) {
+	trips := 0
+	return newBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown},
+		func() { trips++ }, nil), &trips
+}
+
+func TestBreakerFullCycle(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b, trips := newTestBreaker(3, time.Second)
+
+	// Closed: failures below the threshold keep it closed, a success
+	// resets the consecutive count.
+	for i := 0; i < 2; i++ {
+		if _, err := b.allow(t0); err != nil {
+			t.Fatal(err)
+		}
+		b.record(false, false, t0)
+	}
+	b.record(true, false, t0) // reset
+	for i := 0; i < 2; i++ {
+		b.record(false, false, t0)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %d after interleaved failures, want closed", b.State())
+	}
+
+	// Third consecutive failure trips it.
+	b.record(false, false, t0)
+	if b.State() != StateOpen || *trips != 1 {
+		t.Fatalf("state = %d trips = %d, want open/1", b.State(), *trips)
+	}
+
+	// Open: rejects during cooldown.
+	if _, err := b.allow(t0.Add(500 * time.Millisecond)); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+
+	// Cooldown over: exactly one probe is admitted, concurrent calls
+	// still rejected.
+	t1 := t0.Add(1100 * time.Millisecond)
+	probe, err := b.allow(t1)
+	if err != nil || !probe {
+		t.Fatalf("allow after cooldown = (%v, %v), want probe", probe, err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %d, want half-open", b.State())
+	}
+	if _, err := b.allow(t1); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second call during probe admitted: %v", err)
+	}
+
+	// Successful probe closes the circuit.
+	b.record(true, true, t1)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %d after good probe, want closed", b.State())
+	}
+	if _, err := b.allow(t1); err != nil {
+		t.Fatalf("closed breaker rejected a call: %v", err)
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b, trips := newTestBreaker(2, time.Second)
+	b.record(false, false, t0)
+	b.record(false, false, t0)
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open at threshold")
+	}
+
+	t1 := t0.Add(1100 * time.Millisecond)
+	probe, err := b.allow(t1)
+	if err != nil || !probe {
+		t.Fatalf("probe not admitted: (%v, %v)", probe, err)
+	}
+	b.record(false, true, t1) // probe fails → re-open for a fresh cooldown
+	if b.State() != StateOpen || *trips != 2 {
+		t.Fatalf("state = %d trips = %d after failed probe, want open/2", b.State(), *trips)
+	}
+	if _, err := b.allow(t1.Add(500 * time.Millisecond)); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("re-opened breaker admitted a call inside the new cooldown")
+	}
+	// And the next cooldown expiry admits a fresh probe.
+	if probe, err := b.allow(t1.Add(1100 * time.Millisecond)); err != nil || !probe {
+		t.Fatalf("second probe not admitted: (%v, %v)", probe, err)
+	}
+}
+
+func TestBreakerLateResultsIgnoredWhileOpen(t *testing.T) {
+	t0 := time.Unix(3000, 0)
+	b, _ := newTestBreaker(1, time.Minute)
+	b.record(false, false, t0)
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open")
+	}
+	// An attempt admitted before the trip finishes late; it must not
+	// flip the circuit closed.
+	b.record(true, false, t0.Add(time.Second))
+	if b.State() != StateOpen {
+		t.Fatal("late non-probe success closed an open circuit")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, trips := newTestBreaker(-1, time.Second)
+	t0 := time.Unix(4000, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := b.allow(t0); err != nil {
+			t.Fatal("disabled breaker rejected a call")
+		}
+		b.record(false, false, t0)
+	}
+	if *trips != 0 || b.State() != StateClosed {
+		t.Fatal("disabled breaker tripped")
+	}
+}

@@ -1,0 +1,366 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastConfig returns a Config tuned so tests spend microseconds, not
+// seconds, in backoff.
+func fastConfig(url string) Config {
+	return Config{
+		BaseURL:     url,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+func okBody() string {
+	return `{"dataset":"d","algorithm":"ktg-basic","groups":[{"members":[1,2],"covered":["a"],"qkc":0.5}],"cache":"miss"}`
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var mu sync.Mutex
+	var ids []string
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		ids = append(ids, r.Header.Get("X-Request-Id"))
+		mu.Unlock()
+		if n <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":{"code":"boom","message":"transient"}}`)
+			return
+		}
+		fmt.Fprint(w, okBody())
+	}))
+	defer ts.Close()
+
+	c, err := New(fastConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}, GroupSize: 2, Tenuity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", resp.Attempts)
+	}
+	if len(ids) != 3 || ids[0] == "" || ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Fatalf("X-Request-Id not stable across attempts: %v", ids)
+	}
+	if resp.RequestID != ids[0] {
+		t.Fatalf("Response.RequestID %q != header %q", resp.RequestID, ids[0])
+	}
+	if st := c.Stats(); st.Retries != 2 || st.Attempts != 3 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHonorsRetryAfterDeltaSeconds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"overloaded","message":"queue full"}}`)
+			return
+		}
+		fmt.Fprint(w, okBody())
+	}))
+	defer ts.Close()
+
+	c, err := New(fastConfig(ts.URL)) // backoff capped at 2ms — any ≥1s wait is the header's doing
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}, GroupSize: 2, Tenuity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("call finished in %v; Retry-After: 1 was not honored", elapsed)
+	}
+	if st := c.Stats(); st.RetryAfterHonored != 1 {
+		t.Fatalf("RetryAfterHonored = %d, want 1", st.RetryAfterHonored)
+	}
+}
+
+func TestHonorsRetryAfterHTTPDate(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":{"code":"draining","message":"shutting down"}}`)
+			return
+		}
+		fmt.Fprint(w, okBody())
+	}))
+	defer ts.Close()
+
+	c, err := New(fastConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}, GroupSize: 2, Tenuity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// HTTP-date granularity is one second, so a +2s date can round down
+	// to a wait barely over 1s.
+	if elapsed := time.Since(start); elapsed < 800*time.Millisecond {
+		t.Fatalf("call finished in %v; HTTP-date Retry-After was not honored", elapsed)
+	}
+	if st := c.Stats(); st.RetryAfterHonored != 1 {
+		t.Fatalf("RetryAfterHonored = %d, want 1", st.RetryAfterHonored)
+	}
+}
+
+func TestPermanent4xxNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":{"code":"bad_request","message":"group_size must be positive"}}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(fastConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qerr := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}})
+	if qerr == nil {
+		t.Fatal("want error")
+	}
+	var apiErr *APIError
+	if !errors.As(qerr, &apiErr) || apiErr.Status != 400 || apiErr.Code != "bad_request" {
+		t.Fatalf("error = %v, want *APIError 400 bad_request", qerr)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a permanent 400, want 1", got)
+	}
+	if errors.Is(qerr, ErrOverloaded) || errors.Is(qerr, ErrUnavailable) {
+		t.Fatalf("400 mapped onto a transient sentinel: %v", qerr)
+	}
+}
+
+func TestOverloadedMapsToSentinel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":{"code":"overloaded","message":"queue full"}}`)
+	}))
+	defer ts.Close()
+
+	cfg := fastConfig(ts.URL)
+	cfg.MaxAttempts = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qerr := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}})
+	if !errors.Is(qerr, ErrOverloaded) {
+		t.Fatalf("exhausted 429s = %v, want errors.Is ErrOverloaded", qerr)
+	}
+}
+
+func TestTruncatedBodyRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Promise a long body, deliver a stub: the client must see an
+			// unexpected EOF, not parse garbage.
+			w.Header().Set("Content-Length", "4096")
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"dataset":"d","gro`)
+			return
+		}
+		fmt.Fprint(w, okBody())
+	}))
+	defer ts.Close()
+
+	c, err := New(fastConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}, GroupSize: 2, Tenuity: 1})
+	if err != nil {
+		t.Fatalf("truncated first response was not ridden out: %v", err)
+	}
+	if resp.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", resp.Attempts)
+	}
+}
+
+func TestHedgeWinsOverSlowPrimary(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // primary parks until the test ends
+		}
+		fmt.Fprint(w, okBody())
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	cfg := fastConfig(ts.URL)
+	cfg.HedgeDelay = 10 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}, GroupSize: 2, Tenuity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Hedged {
+		t.Fatal("response not marked as hedge-answered")
+	}
+	if st := c.Stats(); st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge / 1 win", st)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":{"code":"boom","message":"down"}}`)
+	}))
+	defer ts.Close()
+
+	cfg := fastConfig(ts.URL)
+	cfg.RetryBudget = 1 // one retry for the whole client
+	cfg.Breaker.Threshold = -1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qerr := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}})
+	if !errors.Is(qerr, ErrRetryBudgetExhausted) {
+		t.Fatalf("error = %v, want ErrRetryBudgetExhausted", qerr)
+	}
+	if st := c.Stats(); st.Attempts != 2 || st.BudgetExhausted != 1 {
+		t.Fatalf("stats = %+v, want 2 attempts and 1 budget denial", st)
+	}
+}
+
+func TestCircuitOpensAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":{"code":"boom","message":"down"}}`)
+			return
+		}
+		fmt.Fprint(w, okBody())
+	}))
+	defer ts.Close()
+
+	cfg := fastConfig(ts.URL)
+	cfg.MaxAttempts = 2
+	cfg.Breaker = BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Dataset: "d", Keywords: []string{"a"}, GroupSize: 2, Tenuity: 1}
+
+	// Call 1: two failed attempts → breaker opens.
+	if _, err := c.Query(context.Background(), req); err == nil {
+		t.Fatal("want error from down server")
+	}
+	if c.BreakerState() != StateOpen {
+		t.Fatalf("breaker state = %d, want open", c.BreakerState())
+	}
+
+	// Call 2: rejected locally, no network traffic.
+	before := calls.Load()
+	_, qerr := c.Query(context.Background(), req)
+	if !errors.Is(qerr, ErrCircuitOpen) {
+		t.Fatalf("error = %v, want ErrCircuitOpen", qerr)
+	}
+	if calls.Load() != before {
+		t.Fatal("open circuit still sent a request")
+	}
+	if st := c.Stats(); st.BreakerTrips != 1 || st.BreakerRejects == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// After the cooldown the probe goes through against a now-healthy
+	// server and the circuit closes.
+	healthy.Store(true)
+	time.Sleep(60 * time.Millisecond)
+	resp, err := c.Query(context.Background(), req)
+	if err != nil {
+		t.Fatalf("probe call failed: %v", err)
+	}
+	if resp == nil || c.BreakerState() != StateClosed {
+		t.Fatalf("breaker state = %d after good probe, want closed", c.BreakerState())
+	}
+}
+
+func TestDegradedSurfaced(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"dataset":"d","algorithm":"ktg-basic","groups":[],"degraded":true,"degraded_reason":"queue pressure","cache":"miss"}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(fastConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(context.Background(), &Request{Dataset: "d", Keywords: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.DegradedReason != "queue pressure" {
+		t.Fatalf("degradation not surfaced: %+v", resp)
+	}
+	if st := c.Stats(); st.Degraded != 1 {
+		t.Fatalf("Degraded stat = %d, want 1", st.Degraded)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":{"code":"boom","message":"down"}}`)
+	}))
+	defer ts.Close()
+
+	cfg := fastConfig(ts.URL)
+	cfg.BackoffBase = time.Second
+	cfg.BackoffCap = time.Second
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, qerr := c.Query(ctx, &Request{Dataset: "d", Keywords: []string{"a"}})
+	if qerr == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded", qerr)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("cancellation took %v; client kept sleeping through backoff", elapsed)
+	}
+}

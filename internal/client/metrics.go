@@ -1,0 +1,38 @@
+package client
+
+import "ktg/internal/obs"
+
+// Process-wide client metrics on the shared obs registry, mirroring
+// the ktg_server_* family from the other side of the wire. A process
+// embedding several Clients (rare) shares these; per-instance numbers
+// are available via Client.Stats.
+var (
+	mCalls = obs.Default().Counter(
+		"ktg_client_calls_total", "logical query calls started (retries and hedges excluded)")
+	mErrors = obs.Default().Counter(
+		"ktg_client_errors_total", "logical query calls that returned an error after all retries")
+	mAttempts = obs.Default().Counter(
+		"ktg_client_attempts_total", "HTTP attempts issued (hedges included)")
+	mRetries = obs.Default().Counter(
+		"ktg_client_retries_total", "attempts beyond a call's first (hedges excluded)")
+	mHedges = obs.Default().Counter(
+		"ktg_client_hedges_total", "hedge attempts launched for slow primaries")
+	mHedgeWins = obs.Default().Counter(
+		"ktg_client_hedge_wins_total", "calls answered by the hedge attempt instead of the primary")
+	mBreakerTrips = obs.Default().Counter(
+		"ktg_client_breaker_trips_total", "circuit-breaker transitions to open")
+	mBreakerRejects = obs.Default().Counter(
+		"ktg_client_breaker_rejected_total", "calls rejected locally while the circuit was open")
+	mBreakerState = obs.Default().Gauge(
+		"ktg_client_breaker_state", "current circuit state: 0 closed, 1 half-open, 2 open")
+	mRetryAfterHonored = obs.Default().Counter(
+		"ktg_client_retry_after_honored_total", "retries whose delay came from a server Retry-After header")
+	mBudgetExhausted = obs.Default().Counter(
+		"ktg_client_retry_budget_exhausted_total", "retries denied because the client-wide retry budget was empty")
+	mDegraded = obs.Default().Counter(
+		"ktg_client_degraded_results_total", "accepted responses the server marked degraded")
+	mPartial = obs.Default().Counter(
+		"ktg_client_partial_results_total", "accepted responses the server marked partial")
+	mLatency = obs.Default().Histogram(
+		"ktg_client_call_latency_ns", "logical call latency in nanoseconds, retries and backoff included")
+)

@@ -1,0 +1,106 @@
+package client
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// backoff returns the sleep before retry number attempt (0-based):
+// full jitter drawn uniformly from [0, min(BackoffCap, BackoffBase·2ᵃ)].
+// Full jitter (rather than equal or decorrelated) is the variant that
+// best de-synchronizes a fleet of clients hammering one recovering
+// server; the cap keeps late retries from exceeding human patience.
+func (c *Client) backoff(attempt int) time.Duration {
+	ceil := c.cfg.BackoffCap
+	// Shift with an explicit range guard: BackoffBase<<attempt overflows
+	// int64 silently for large attempt counts.
+	if attempt < 62 {
+		if d := c.cfg.BackoffBase << uint(attempt); d > 0 && d < ceil {
+			ceil = d
+		}
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
+	c.mu.Unlock()
+	return d
+}
+
+// parseRetryAfter parses a Retry-After header value: RFC 9110 allows
+// either delta-seconds ("120") or an HTTP-date ("Fri, 31 Dec 1999
+// 23:59:59 GMT", plus the legacy RFC 850 and asctime forms). Returns
+// (duration, true) on success — a past date clamps to 0 — and
+// (0, false) for anything unparseable, so callers fall back to their
+// own backoff instead of guessing.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// retryBudget is a token bucket shared by all calls on one client:
+// each retry spends one token, each successful call refills a
+// fraction. Under a total outage the budget drains and calls fail fast
+// after their first attempt instead of multiplying load — the
+// fleet-level retry-storm guard the per-call backoff cannot provide.
+type retryBudget struct {
+	mu        sync.Mutex
+	tokens    float64
+	max       float64
+	refill    float64
+	unlimited bool
+}
+
+func newRetryBudget(max, refill float64) *retryBudget {
+	if max < 0 {
+		return &retryBudget{unlimited: true}
+	}
+	return &retryBudget{tokens: max, max: max, refill: refill}
+}
+
+// spend consumes one retry token, reporting false when none is left.
+func (b *retryBudget) spend() bool {
+	if b.unlimited {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// credit refills the budget after a successful call.
+func (b *retryBudget) credit() {
+	if b.unlimited {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.refill
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}

@@ -1,0 +1,110 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"5", 5 * time.Second, true},
+		{" 120 ", 120 * time.Second, true}, // whitespace tolerated
+		{"-3", 0, false},                   // negative delta is invalid
+		{"3.5", 0, false},                  // delta-seconds is an integer
+		{now.Add(90 * time.Second).Format("Mon, 02 Jan 2006 15:04:05 GMT"), 90 * time.Second, true},
+		{now.Add(-time.Hour).Format("Mon, 02 Jan 2006 15:04:05 GMT"), 0, true}, // past date clamps to 0
+		{"Monday, 05-Aug-26 12:01:40 GMT", 100 * time.Second, true},            // RFC 850 legacy form
+		{"", 0, false},
+		{"soon", 0, false},
+		{"Fri, 99 Zug 2026 25:61:61 GMT", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in, now)
+		if ok != c.ok || got != c.want {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestBackoffBounds checks every retry ordinal, including ones far past
+// the shift-overflow point: the jittered delay must stay within
+// [0, min(cap, base·2ᵃ)] and never go negative.
+func TestBackoffBounds(t *testing.T) {
+	c, err := New(Config{
+		BaseURL:     "http://unused.invalid",
+		BackoffBase: 100 * time.Millisecond,
+		BackoffCap:  2 * time.Second,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt <= 64; attempt++ {
+		ceil := 2 * time.Second
+		if attempt < 5 { // 100ms·2⁴ = 1.6s is the last pre-cap ordinal
+			ceil = 100 * time.Millisecond << uint(attempt)
+		}
+		for i := 0; i < 200; i++ {
+			d := c.backoff(attempt)
+			if d < 0 {
+				t.Fatalf("attempt %d: negative backoff %v", attempt, d)
+			}
+			if d > ceil {
+				t.Fatalf("attempt %d: backoff %v exceeds ceiling %v", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// TestBackoffJitters confirms the delay is actually jittered, not a
+// fixed schedule a client fleet would synchronize on.
+func TestBackoffJitters(t *testing.T) {
+	c, err := New(Config{BaseURL: "http://unused.invalid", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 50; i++ {
+		seen[c.backoff(3)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("50 draws produced only %d distinct delays; jitter looks broken", len(seen))
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	b := newRetryBudget(2, 0.5)
+	if !b.spend() || !b.spend() {
+		t.Fatal("fresh budget of 2 denied a spend")
+	}
+	if b.spend() {
+		t.Fatal("empty budget allowed a spend")
+	}
+	b.credit() // +0.5 → still < 1
+	if b.spend() {
+		t.Fatal("0.5 tokens allowed a spend")
+	}
+	b.credit() // 1.0
+	if !b.spend() {
+		t.Fatal("1.0 tokens denied a spend")
+	}
+	for i := 0; i < 100; i++ {
+		b.credit()
+	}
+	if b.tokens > b.max {
+		t.Fatalf("credit overfilled the bucket: %v > %v", b.tokens, b.max)
+	}
+
+	u := newRetryBudget(-1, 0)
+	for i := 0; i < 1000; i++ {
+		if !u.spend() {
+			t.Fatal("unlimited budget denied a spend")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package server
+
+// retryAfterSeconds derives the Retry-After hint the server sends with
+// 429 (queue full) and 503 (draining) rejections, from the live load
+// signals instead of a hard-coded constant: a client bounced off a
+// deep queue should stay away longer than one bounced off a blip, and
+// a drain with many searches still running needs more time than an
+// idle one.
+//
+// Overload (draining=false): the queue holds `queued` waiters and
+// `workers` searches complete roughly in parallel, so the backlog
+// clears in about queued/workers "search times"; 1+queued/workers
+// seconds is that estimate with a one-second floor, capped at 30 so a
+// pathological backlog cannot park clients for minutes.
+//
+// Draining (draining=true): nothing new is admitted, so the relevant
+// wait is how long the `inflight` searches take to finish —
+// ceil(inflight/workers) seconds, floored at 1, capped at 10 (after
+// that the process is likely gone and the client should re-resolve).
+func retryAfterSeconds(queued, inflight, workers int, draining bool) int {
+	if workers < 1 {
+		workers = 1
+	}
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	if draining {
+		return clamp((inflight+workers-1)/workers, 1, 10)
+	}
+	return clamp(1+queued/workers, 1, 30)
+}
+
+// waiting reports how many requests are queued for a worker slot.
+func (a *admitter) waiting() int { return int(a.queued.Load()) }
+
+// inflight reports how many searches hold a worker slot right now
+// (taken slots = capacity minus free tokens; len on a channel is safe
+// under concurrency and an estimate is all a retry hint needs).
+func (a *admitter) inflight() int { return cap(a.slots) - len(a.slots) }
+
+// retryAfter derives the current Retry-After hint for this server.
+func (s *Server) retryAfter(draining bool) int {
+	return retryAfterSeconds(s.adm.waiting(), s.adm.inflight(), s.cfg.Workers, draining)
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterDerivation pins the Retry-After derivation so the
+// hints clients pace themselves by cannot drift silently.
+func TestRetryAfterDerivation(t *testing.T) {
+	cases := []struct {
+		queued, inflight, workers int
+		draining                  bool
+		want                      int
+	}{
+		// Overload: 1 + queued/workers, clamped to [1, 30].
+		{0, 0, 4, false, 1},     // empty queue → minimum hint
+		{3, 4, 4, false, 1},     // sub-worker backlog still rounds to the floor
+		{8, 4, 4, false, 3},     // two "rounds" of queue + 1
+		{40, 4, 4, false, 11},   // deep queue → proportionally longer
+		{1000, 4, 4, false, 30}, // pathological backlog hits the cap
+		{8, 0, 0, false, 9},     // workers clamps to 1 before dividing
+
+		// Draining: ceil(inflight/workers), clamped to [1, 10].
+		{0, 0, 4, true, 1},     // idle drain → minimum hint
+		{0, 4, 4, true, 1},     // one worker-round of searches
+		{0, 25, 4, true, 7},    // ceil(25/4)
+		{0, 1000, 4, true, 10}, // long drain hits the cap
+		{50, 3, 4, true, 1},    // queued waiters are irrelevant while draining
+	}
+	for _, c := range cases {
+		got := retryAfterSeconds(c.queued, c.inflight, c.workers, c.draining)
+		if got != c.want {
+			t.Errorf("retryAfterSeconds(queued=%d, inflight=%d, workers=%d, draining=%v) = %d, want %d",
+				c.queued, c.inflight, c.workers, c.draining, got, c.want)
+		}
+	}
+}
+
+// TestOverloadRetryAfterScalesWithQueueDepth exercises the wired-up
+// path: a server whose only worker is parked behind a gate rejects the
+// overflow request with a Retry-After derived from the actual queue,
+// not a constant.
+func TestOverloadRetryAfterScalesWithQueueDepth(t *testing.T) {
+	net := reviewerNetwork(t)
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newGateIndex(idx)
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 5, DegradeQueueWait: -1},
+		&Dataset{Name: "reviewers", Network: net, Index: gate})
+	h := s.Handler()
+
+	// Occupy the worker, then fill the 5-deep queue with distinct
+	// queries (distinct so singleflight doesn't collapse them).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postJSON(t, h, "/v1/query", goodBody)
+	}()
+	<-gate.entered
+	queueTargets := []string{"SN", "GD", "DQ", "GQ", "QP"}
+	waiters := make(chan struct{}, len(queueTargets))
+	for _, kw := range queueTargets {
+		kw := kw
+		go func() {
+			defer func() { waiters <- struct{}{} }()
+			postJSON(t, h, "/v1/query", `{"dataset":"reviewers","keywords":["`+kw+`"],"group_size":3,"tenuity":1}`)
+		}()
+	}
+	// Wait until all five are actually queued before overflowing.
+	for i := 0; s.adm.waiting() < len(queueTargets); i++ {
+		if i > 500 {
+			t.Fatalf("queue never reached %d waiters (at %d)", len(queueTargets), s.adm.waiting())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	rec, body := postJSON(t, h, "/v1/query", `{"dataset":"reviewers","keywords":["XX"],"group_size":3,"tenuity":1}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d body = %v, want 429", rec.Code, body)
+	}
+	// workers=1, queued=5 → 1+5/1 = 6.
+	if got := rec.Header().Get("Retry-After"); got != "6" {
+		t.Fatalf("Retry-After = %q, want %q (derived from 5 queued / 1 worker)", got, "6")
+	}
+
+	close(gate.gate)
+	<-done
+	for range queueTargets {
+		<-waiters
+	}
+}
+
+// TestDrainingRetryAfterReflectsInflight pins the draining-path
+// derivation through the HTTP surface.
+func TestDrainingRetryAfterReflectsInflight(t *testing.T) {
+	net := reviewerNetwork(t)
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newGateIndex(idx)
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4, DegradeQueueWait: -1},
+		&Dataset{Name: "reviewers", Network: net, Index: gate})
+	h := s.Handler()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postJSON(t, h, "/v1/query", goodBody)
+	}()
+	<-gate.entered
+	s.Drain()
+	rec, _ := postJSON(t, h, "/v1/query", `{"dataset":"reviewers","keywords":["SN"],"group_size":3,"tenuity":1}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	// 1 search in flight / 1 worker → ceil(1/1) = 1.
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q (1 inflight / 1 worker)", got, "1")
+	}
+	close(gate.gate)
+	<-done
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -307,7 +308,7 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 	s.recorder.Annotate(rec.ID, dsLabel, algLabel)
 	if s.draining.Load() {
 		mRejectDraining.Inc()
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(true)))
 		writeAPIError(w, &apiError{
 			Status:  http.StatusServiceUnavailable,
 			Code:    "draining",
@@ -574,7 +575,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		writeAPIError(w, aerr)
 	case errors.Is(err, errOverloaded):
 		mRejectOverload.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(false)))
 		writeAPIError(w, &apiError{
 			Status:  http.StatusTooManyRequests,
 			Code:    "overloaded",

@@ -1,93 +1,147 @@
-// Command smokeclient is verify.sh's end-to-end probe for ktgserver:
-// it checks health, runs one KTG and one DKTG query (expecting 200 and
-// well-formed JSON), verifies the second identical query is a cache
-// hit, and confirms a malformed request yields a structured 400. It
-// exits non-zero on the first failed expectation.
+// Command smokeclient is verify.sh's end-to-end probe for ktgserver,
+// built on the resilient internal/client. It first proves the client's
+// own retry discipline against an embedded stub — a 429 with
+// Retry-After must be waited out, not hammered, under one stable
+// request ID — then probes the real server: health, one KTG query
+// (cache miss) repeated as a cache hit, one DKTG query, and a
+// malformed request yielding a typed 400. It exits non-zero on the
+// first failed expectation.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
-	"strings"
+	"sync"
 	"time"
+
+	"ktg/internal/client"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "ktgserver address")
 	dataset := flag.String("dataset", "brightkite", "dataset to query")
 	flag.Parse()
-	base := "http://" + *addr
-	client := &http.Client{Timeout: 60 * time.Second}
 
-	resp, err := client.Get(base + "/healthz")
-	if err != nil || resp.StatusCode != 200 {
-		fail("healthz: err=%v status=%v", err, status(resp))
-	}
-	resp.Body.Close()
+	selfCheckRetryAfter()
 
-	query := fmt.Sprintf(`{"dataset":%q,"keywords":["kw0000","kw0001","kw0002","kw0003"],"group_size":3,"tenuity":2,"top_n":3}`, *dataset)
-	first := post(client, base+"/v1/query", query, 200)
-	if _, ok := first["groups"]; !ok {
-		fail("/v1/query response lacks groups: %v", first)
+	cl, err := client.New(client.Config{
+		BaseURL:        "http://" + *addr,
+		AttemptTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		fail("building client: %v", err)
 	}
-	if first["cache"] != "miss" {
-		fail("/v1/query first run cache = %v, want miss", first["cache"])
-	}
-	second := post(client, base+"/v1/query", query, 200)
-	if second["cache"] != "hit" {
-		fail("/v1/query repeat cache = %v, want hit", second["cache"])
+	ctx := context.Background()
+
+	if err := cl.Health(ctx); err != nil {
+		fail("healthz: %v", err)
 	}
 
-	diverse := fmt.Sprintf(`{"dataset":%q,"keywords":["kw0000","kw0001","kw0002","kw0003"],"group_size":3,"tenuity":2,"top_n":3,"gamma":0.5}`, *dataset)
-	dres := post(client, base+"/v1/diverse", diverse, 200)
-	if _, ok := dres["diversity"]; !ok {
-		fail("/v1/diverse response lacks diversity: %v", dres)
+	req := &client.Request{
+		Dataset:   *dataset,
+		Keywords:  []string{"kw0000", "kw0001", "kw0002", "kw0003"},
+		GroupSize: 3,
+		Tenuity:   2,
+		TopN:      3,
+	}
+	first, err := cl.Query(ctx, req)
+	if err != nil {
+		fail("/v1/query: %v", err)
+	}
+	if first.Groups == nil {
+		fail("/v1/query response lacks groups: %+v", first)
+	}
+	if first.Cache != "miss" {
+		fail("/v1/query first run cache = %q, want miss", first.Cache)
+	}
+	if first.RequestID == "" {
+		fail("/v1/query response lacks a request ID")
+	}
+	second, err := cl.Query(ctx, req)
+	if err != nil {
+		fail("/v1/query repeat: %v", err)
+	}
+	if second.Cache != "hit" {
+		fail("/v1/query repeat cache = %q, want hit", second.Cache)
 	}
 
-	bad := post(client, base+"/v1/query", `{"dataset":"nope"}`, 400)
-	if _, ok := bad["error"]; !ok {
-		fail("invalid request lacks structured error: %v", bad)
+	gamma := 0.5
+	dreq := *req
+	dreq.Gamma = &gamma
+	dres, err := cl.Diverse(ctx, &dreq)
+	if err != nil {
+		fail("/v1/diverse: %v", err)
+	}
+	if dres.Diversity == nil {
+		fail("/v1/diverse response lacks diversity: %+v", dres)
+	}
+
+	_, err = cl.Query(ctx, &client.Request{Dataset: "nope"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Code == "" {
+		fail("invalid request: err = %v, want a structured *APIError with status 400", err)
 	}
 
 	fmt.Println("smokeclient: ok")
 }
 
-func post(client *http.Client, url, body string, wantStatus int) map[string]any {
-	resp, err := client.Post(url, "application/json", strings.NewReader(body))
-	if err != nil {
-		fail("POST %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	// The server echoes (or assigns) a request ID per request; printing
-	// it on failures lets an operator pull the exact record from
-	// /debug/requests and the server log.
-	rid := resp.Header.Get("X-Request-Id")
-	if rid == "" {
-		fail("POST %s: response lacks an X-Request-Id header", url)
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fail("POST %s [request_id=%s]: reading body: %v", url, rid, err)
-	}
-	if resp.StatusCode != wantStatus {
-		fail("POST %s [request_id=%s]: status %d, want %d: %s", url, rid, resp.StatusCode, wantStatus, raw)
-	}
-	var out map[string]any
-	if err := json.Unmarshal(raw, &out); err != nil {
-		fail("POST %s [request_id=%s]: response is not JSON: %v: %s", url, rid, err, raw)
-	}
-	return out
-}
+// selfCheckRetryAfter proves, against a local stub, that the client
+// waits out a 429's Retry-After instead of hammering: exactly two
+// attempts, both under the same X-Request-Id, at least ~1s apart.
+func selfCheckRetryAfter() {
+	var (
+		mu    sync.Mutex
+		times []time.Time
+		ids   []string
+	)
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		ids = append(ids, r.Header.Get("X-Request-Id"))
+		n := len(times)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"overloaded","message":"queue full"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"dataset":"stub","algorithm":"ktg-basic","groups":[],"cache":"miss"}`)
+	}))
+	defer stub.Close()
 
-func status(r *http.Response) any {
-	if r == nil {
-		return nil
+	cl, err := client.New(client.Config{
+		BaseURL: stub.URL,
+		// Backoff far below the header's 1s: any properly spaced retry is
+		// the Retry-After's doing, not the backoff's.
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		fail("self-check: building client: %v", err)
 	}
-	return r.StatusCode
+	resp, err := cl.Query(context.Background(), &client.Request{Dataset: "stub", Keywords: []string{"a"}, GroupSize: 2, Tenuity: 1})
+	if err != nil {
+		fail("self-check: query: %v", err)
+	}
+	if len(times) != 2 || resp.Attempts != 2 {
+		fail("self-check: stub saw %d attempts (client reports %d), want exactly 2 — a hammered 429", len(times), resp.Attempts)
+	}
+	if ids[0] == "" || ids[0] != ids[1] {
+		fail("self-check: X-Request-Id not stable across the retry: %v", ids)
+	}
+	if gap := times[1].Sub(times[0]); gap < 900*time.Millisecond {
+		fail("self-check: retry arrived %v after the 429; Retry-After: 1 was not honored", gap)
+	}
+	if st := cl.Stats(); st.RetryAfterHonored != 1 {
+		fail("self-check: RetryAfterHonored = %d, want 1", st.RetryAfterHonored)
+	}
 }
 
 func fail(format string, args ...any) {

@@ -107,6 +107,18 @@ func (g *Generator) QueryKeywords(size int) []keywords.ID {
 	return ids
 }
 
+// KeywordNames resolves drawn keyword ids back to vocabulary names,
+// for callers (like the load driver) that speak the HTTP API, which
+// takes keywords by name rather than id.
+func (g *Generator) KeywordNames(ids []keywords.ID) []string {
+	vocab := g.attrs.Vocabulary()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = vocab.Name(id)
+	}
+	return names
+}
+
 // Batch draws `count` query keyword sets of the given size.
 func (g *Generator) Batch(count, size int) [][]keywords.ID {
 	out := make([][]keywords.ID, count)

@@ -88,4 +88,18 @@ boot_server "$tmp/snap3.log" -index nl -snapshots "$snaps"
 grep -q "reason=loaded" "$tmp/snap3.log"
 stop_server
 
+# --- chaos / resilient-client smoke ----------------------------------
+# Boot ktgserver with deterministic fault injection (~35% of /v1/*
+# requests get latency, 429s, 500s, resets, or truncated bodies) and
+# replay a workload through the resilient client. ktgload exits
+# non-zero if any query is lost or returns a malformed answer.
+go build -o "$tmp/ktgload" ./cmd/ktgload
+
+boot_server "$tmp/chaos.log" \
+    -chaos "seed=7,latency=0.10:1ms-20ms,e429=0.10:0,e500=0.10,e503=0.06,reset=0.04,truncate=0.04"
+grep -qi "chaos injection enabled" "$tmp/chaos.log"
+"$tmp/ktgload" -addr "$addr" -preset brightkite -scale 0.02 \
+    -queries 25 -concurrency 4 -seed 42 -hedge-delay 25ms
+stop_server
+
 echo "verify: ok"
