@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"ktg/internal/client"
 	"ktg/internal/cliutil"
 	"ktg/internal/gen"
+	"ktg/internal/obs"
 	"ktg/internal/workload"
 )
 
@@ -57,6 +59,7 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 6, "client attempts per logical call")
 		hedgeDelay  = flag.Duration("hedge-delay", 0, "launch a hedged second attempt after this delay (0 = off)")
 		verbose     = flag.Bool("v", false, "log every query result")
+		traceExport = flag.String("trace-export", "", "append the client-side trace of every query (attempts, hedges, retries) to this file as OTLP/JSON lines")
 	)
 	flag.Parse()
 	cliutil.MustScale("ktgload", *scale)
@@ -98,10 +101,29 @@ func main() {
 	}
 	waitHealthy(cl)
 
+	// Every logical query runs under its own root span so lost queries
+	// are attributable by trace ID even when no attempt ever answered;
+	// with -trace-export the client-side fragments (call span + attempt
+	// children) are also written out as OTLP/JSON.
+	baseCtx := context.Background()
+	var exporter *obs.TraceExporter
+	if *traceExport != "" {
+		exp, err := obs.NewTraceExporter(*traceExport, "ktgload")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ktgload: %v\n", err)
+			os.Exit(1)
+		}
+		exporter = exp
+		traces := obs.NewTraceStore(obs.TraceStoreConfig{})
+		traces.SetExporter(exp)
+		baseCtx = obs.ContextWithTraceStore(baseCtx, traces)
+	}
+
 	type result struct {
 		idx     int
 		latency time.Duration
 		resp    *client.Response
+		traceID string
 		err     error
 	}
 	var (
@@ -125,17 +147,24 @@ func main() {
 					Algorithm: *algorithm,
 				}
 				t0 := time.Now()
-				resp, err := runWithPatience(cl, req, *diverse, *patience)
-				r := result{idx: i, latency: time.Since(t0), resp: resp, err: err}
+				qctx, qspan := obs.StartSpan(baseCtx, "ktgload query")
+				qspan.SetAttr("query_index", strconv.Itoa(i))
+				resp, err := runWithPatience(qctx, cl, req, *diverse, *patience)
+				if err != nil {
+					qspan.SetError(err.Error())
+				}
+				qspan.End()
+				r := result{idx: i, latency: time.Since(t0), resp: resp, traceID: qspan.TraceID(), err: err}
 				mu.Lock()
 				results[i] = r
 				mu.Unlock()
 				if *verbose {
 					if err != nil {
-						fmt.Fprintf(os.Stderr, "ktgload: query %d LOST after %v: %v\n", i, r.latency, err)
+						fmt.Fprintf(os.Stderr, "ktgload: query %d LOST after %v (trace %s): %v\n",
+							i, r.latency, r.traceID, err)
 					} else {
-						fmt.Fprintf(os.Stderr, "ktgload: query %d ok in %v (attempts=%d hedged=%v groups=%d)\n",
-							i, r.latency, resp.Attempts, resp.Hedged, len(resp.Groups))
+						fmt.Fprintf(os.Stderr, "ktgload: query %d ok in %v (attempts=%d hedged=%v groups=%d request_id=%s trace=%s)\n",
+							i, r.latency, resp.Attempts, resp.Hedged, len(resp.Groups), resp.RequestID, resp.TraceID)
 					}
 				}
 			}
@@ -153,7 +182,8 @@ func main() {
 	for i, r := range results {
 		if r.err != nil {
 			lost++
-			fmt.Fprintf(os.Stderr, "ktgload: LOST query %d (keywords %v): %v\n", i, kwSets[i], r.err)
+			fmt.Fprintf(os.Stderr, "ktgload: LOST query %d (keywords %v, trace %s): %v\n",
+				i, kwSets[i], r.traceID, r.err)
 			continue
 		}
 		latencies = append(latencies, r.latency)
@@ -164,6 +194,11 @@ func main() {
 	}
 
 	report(os.Stdout, elapsed, latencies, cl.Stats(), lost, malformed, len(kwSets))
+	// Explicit close (not deferred): the os.Exit below would skip defers
+	// and could truncate the final export line.
+	if exporter != nil {
+		_ = exporter.Close()
+	}
 	if lost > 0 || malformed > 0 {
 		os.Exit(1)
 	}
@@ -218,9 +253,10 @@ func waitHealthy(cl *client.Client) {
 // or the patience budget expires. The client already retries within a
 // call; this outer loop additionally rides out breaker-open windows
 // and exhausted attempt counts, because the driver's contract is "no
-// query may be lost while the server is actually up".
-func runWithPatience(cl *client.Client, req *client.Request, diverse bool, patience time.Duration) (*client.Response, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), patience)
+// query may be lost while the server is actually up". ctx carries the
+// query's root span, so every re-issued call traces under one ID.
+func runWithPatience(ctx context.Context, cl *client.Client, req *client.Request, diverse bool, patience time.Duration) (*client.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, patience)
 	defer cancel()
 	var lastErr error
 	for {

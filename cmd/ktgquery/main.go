@@ -13,7 +13,9 @@
 // -v). -stats-json dumps the full SearchStats as one JSON object on
 // stdout. -debug-addr serves /metrics, /debug/vars, and /debug/pprof/
 // for the lifetime of the process (the process stays up after answering
-// so the endpoints can be scraped; interrupt to exit).
+// so the endpoints can be scraped; interrupt to exit). -trace prints
+// the run's span waterfall (compile/candidates/explore timings) on
+// stderr; -trace-export appends the trace to a file as OTLP/JSON.
 //
 // Ctrl-C during a long search cancels it cleanly: the best groups found
 // so far are printed with a warning instead of discarding the work.
@@ -56,6 +58,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "debug-level structured logging (per-phase spans, index builds)")
 		statsJSON = flag.Bool("stats-json", false, "dump the full SearchStats as one JSON object on stdout")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address and stay up after answering")
+		trace     = flag.Bool("trace", false, "print the run's trace as an ASCII waterfall on stderr after answering")
+		traceOut  = flag.String("trace-export", "", "append the run's trace to this file as OTLP/JSON lines")
 	)
 	flag.Parse()
 
@@ -84,6 +88,38 @@ func main() {
 	}
 	logger := obs.NewTextLogger(os.Stderr, level).With("request_id", requestID)
 	ktg.SetDefaultLogger(logger)
+
+	// With -trace or -trace-export the run executes under a root span in
+	// a private trace store (rate 1, nothing is sampled away); the core's
+	// compile/candidates/explore phases land as child spans.
+	var (
+		traces   *obs.TraceStore
+		runSpan  *obs.Span
+		finished = func() {}
+	)
+	if *trace || *traceOut != "" {
+		traces = obs.NewTraceStore(obs.TraceStoreConfig{})
+		if *traceOut != "" {
+			exp, err := obs.NewTraceExporter(*traceOut, "ktgquery")
+			if err != nil {
+				fatal(logger, err)
+			}
+			defer exp.Close()
+			traces.SetExporter(exp)
+		}
+		ctx = obs.ContextWithTraceStore(ctx, traces)
+		ctx, runSpan = obs.StartSpan(ctx, "ktgquery run")
+		runSpan.SetAttr("request_id", requestID)
+		finished = func() {
+			runSpan.End()
+			if *trace {
+				if t := traces.Get(runSpan.TraceID()); t != nil {
+					fmt.Fprint(os.Stderr, obs.Waterfall(t))
+				}
+			}
+			logger.Info("trace recorded", "trace_id", runSpan.TraceID())
+		}
+	}
 
 	if *debugAddr != "" {
 		addr, _, err := ktg.StartDebugServer(*debugAddr)
@@ -178,6 +214,7 @@ func main() {
 		emitStats(logger, *statsJSON, res.Stats)
 		printGroups(net, res.Groups)
 	}
+	finished()
 
 	if *debugAddr != "" {
 		logger.Info("answering done; debug server still serving (interrupt to exit)")

@@ -12,6 +12,8 @@
 //	GET  /debug/requests       flight recorder: recent completed requests
 //	GET  /debug/requests/slow  slow-query log (top-K by latency, sliding window)
 //	GET  /debug/inflight       currently executing requests with elapsed time
+//	GET  /debug/traces         tail-sampled distributed-trace store
+//	GET  /debug/traces/{id}    one trace (JSON; ?format=waterfall for ASCII)
 //
 // Every request carries a request ID: a well-formed inbound
 // X-Request-Id is honored, anything else replaced with a generated ID;
@@ -22,6 +24,16 @@
 // always-retained slow-query log of requests at or above
 // -slow-query-ms; both are served on the routes above and on the
 // -debug-addr surface.
+//
+// Distributed tracing is always on for /v1/* requests: a well-formed
+// inbound W3C traceparent is continued (so client attempts and server
+// spans share one trace), a fresh trace is started otherwise, and the
+// trace ID is echoed as X-Trace-Id and recorded on flight-recorder
+// entries. Completed traces land in a bounded tail-sampled store
+// (-trace-store entries per tier): traces that errored, degraded, or
+// ran at or over -slow-query-ms are always kept, the rest are sampled
+// at -trace-sample. -trace-export appends every stored fragment to a
+// file as OTLP/JSON lines for offline analysis.
 //
 // Admission control bounds concurrent searches (-workers) and the wait
 // queue (-queue); overflow is rejected with 429 + Retry-After. Complete
@@ -95,6 +107,9 @@ func main() {
 		slowQueryMS  = flag.Int("slow-query-ms", 250, "latency (ms) at or above which a request enters the slow-query log and is warned about (negative disables)")
 		recorderSize = flag.Int("flight-recorder", 256, "completed requests retained by the /debug/requests flight recorder (negative disables the ring)")
 		chaosSpec    = flag.String("chaos", "", "TESTING ONLY: deterministic fault-injection spec, e.g. 'seed=7,latency=0.1:1ms-20ms,e429=0.1:0,e500=0.1,reset=0.05,truncate=0.05' (see internal/chaos; empty = disabled)")
+		traceStore   = flag.Int("trace-store", 256, "traces retained per tail-sampler tier on /debug/traces (negative disables trace retention)")
+		traceSample  = flag.Float64("trace-sample", 1.0, "probability of storing an unflagged trace; slow/error/degraded traces are always kept (0 keeps flagged traces only)")
+		traceExport  = flag.String("trace-export", "", "append stored trace fragments to this file as OTLP/JSON lines (empty = no export)")
 	)
 	flag.Parse()
 
@@ -126,6 +141,34 @@ func main() {
 	recorder := obs.NewFlightRecorder(*recorderSize, 0,
 		time.Duration(*slowQueryMS)*time.Millisecond, 0)
 	obs.SetDefaultRecorder(recorder)
+
+	// The trace store shares the recorder's slow threshold so the slow
+	// log and the tail sampler agree on what "slow" means. Installed as
+	// the process default so the embedded /debug/traces routes and the
+	// -debug-addr surface serve the same traces.
+	var traces *obs.TraceStore
+	if *traceStore >= 0 {
+		rate := *traceSample
+		if rate == 0 {
+			rate = -1 // store semantics: negative = flagged traces only
+		}
+		traces = obs.NewTraceStore(obs.TraceStoreConfig{
+			KeptCapacity:    *traceStore,
+			SampledCapacity: *traceStore,
+			SampleRate:      rate,
+			SlowThreshold:   recorder.SlowThreshold(),
+		})
+		if *traceExport != "" {
+			exp, err := obs.NewTraceExporter(*traceExport, "ktgserver")
+			if err != nil {
+				fatal(logger, err)
+			}
+			defer exp.Close()
+			traces.SetExporter(exp)
+			logger.Info("trace export enabled", "path", *traceExport)
+		}
+		obs.SetDefaultTraceStore(traces)
+	}
 
 	if *debugAddr != "" {
 		dbg, _, err := ktg.StartDebugServer(*debugAddr)
@@ -168,6 +211,7 @@ func main() {
 		Logger:           logger,
 		Tracer:           obs.MetricsTracer{Reg: obs.Default()},
 		Recorder:         recorder,
+		TraceStore:       traces,
 	}, datasets...)
 	if err != nil {
 		fatal(logger, err)

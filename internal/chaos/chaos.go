@@ -295,17 +295,17 @@ func (m *Middleware) Wrap(next http.Handler) http.Handler {
 		if hit(rng, rates.E429) {
 			mInjected.With("e429").Inc()
 			writeRetryAfter(w, rates.RetryAfterSecs, seq%2 == 1)
-			writeChaosError(w, http.StatusTooManyRequests, "chaos_overloaded")
+			writeChaosError(w, r, http.StatusTooManyRequests, "chaos_overloaded")
 			return
 		}
 		if hit(rng, rates.E500) {
 			mInjected.With("e500").Inc()
-			writeChaosError(w, http.StatusInternalServerError, "chaos_internal")
+			writeChaosError(w, r, http.StatusInternalServerError, "chaos_internal")
 			return
 		}
 		if hit(rng, rates.E503) {
 			mInjected.With("e503").Inc()
-			writeChaosError(w, http.StatusServiceUnavailable, "chaos_unavailable")
+			writeChaosError(w, r, http.StatusServiceUnavailable, "chaos_unavailable")
 			return
 		}
 		if hit(rng, rates.Truncate) {
@@ -349,11 +349,47 @@ func writeRetryAfter(w http.ResponseWriter, secs int, asDate bool) {
 }
 
 // writeChaosError answers with the server's structured error shape so
-// clients exercise the same decode path as for real rejections.
-func writeChaosError(w http.ResponseWriter, status int, code string) {
+// clients exercise the same decode path as for real rejections. It
+// echoes the request's correlation identity first: injected failures
+// short-circuit the real middleware stack, but they must still be
+// attributable in traces and the flight recorder.
+func writeChaosError(w http.ResponseWriter, r *http.Request, status int, code string) {
+	echoIdentity(w, r)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	fmt.Fprintf(w, `{"error":{"code":%q,"message":"injected by chaos middleware"}}`, code)
+}
+
+// echoIdentity copies a well-formed inbound X-Request-Id and
+// traceparent onto an injected response, the way the real request-scope
+// middleware would have. Malformed values are dropped, not echoed —
+// the chaos layer must not become a header reflection vector.
+func echoIdentity(w http.ResponseWriter, r *http.Request) {
+	if id := r.Header.Get("X-Request-Id"); safeRequestID(id) {
+		w.Header().Set("X-Request-Id", id)
+	}
+	if sc, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		w.Header().Set("traceparent", obs.FormatTraceparent(sc))
+		w.Header().Set("X-Trace-Id", sc.TraceID.String())
+	}
+}
+
+// safeRequestID mirrors the server middleware's request-ID alphabet
+// ([a-zA-Z0-9-_.:], max 128 bytes).
+func safeRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // bufferedResponse captures a handler's full response so truncation

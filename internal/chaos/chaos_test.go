@@ -247,3 +247,63 @@ func TestNonV1PathsUntouchedByDefaultRates(t *testing.T) {
 		t.Fatalf("/healthz got chaos status %d", res.StatusCode)
 	}
 }
+
+func TestInjectedErrorsEchoIdentityHeaders(t *testing.T) {
+	// Injected 429/500/503 short-circuit the server's request-scope
+	// middleware, so the chaos layer itself must echo the caller's
+	// correlation headers for the failure to be attributable.
+	spec, err := ParseSpec("seed=3,e500=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(spec).Wrap(okHandler()))
+	defer ts.Close()
+
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader("{}"))
+	req.Header.Set("X-Request-Id", "req-abc.123")
+	req.Header.Set("traceparent", tp)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", res.StatusCode)
+	}
+	if got := res.Header.Get("X-Request-Id"); got != "req-abc.123" {
+		t.Fatalf("X-Request-Id = %q, want echo of inbound ID", got)
+	}
+	if got := res.Header.Get("traceparent"); got != tp {
+		t.Fatalf("traceparent = %q, want %q preserved", got, tp)
+	}
+	if got := res.Header.Get("X-Trace-Id"); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("X-Trace-Id = %q, want the trace ID", got)
+	}
+}
+
+func TestInjectedErrorsDropMalformedIdentityHeaders(t *testing.T) {
+	spec, err := ParseSpec("seed=3,e503=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(spec).Wrap(okHandler()))
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader("{}"))
+	req.Header.Set("X-Request-Id", "evil id <script>")
+	req.Header.Set("traceparent", "00-zzzz-bad-01")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if got := res.Header.Get("X-Request-Id"); got != "" {
+		t.Fatalf("malformed X-Request-Id echoed back: %q", got)
+	}
+	if got := res.Header.Get("traceparent"); got != "" {
+		t.Fatalf("malformed traceparent echoed back: %q", got)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -133,11 +134,14 @@ type Response struct {
 	Cache          string   `json:"cache"`
 
 	// RequestID echoes the X-Request-Id the winning attempt carried
-	// (stable across every attempt of this call). Attempts counts HTTP
+	// (stable across every attempt of this call). TraceID is the W3C
+	// trace the call ran under (every attempt propagated it via
+	// traceparent, so server-side spans join it). Attempts counts HTTP
 	// round-trips this call made, hedges included; Hedged reports the
-	// answer came from a hedge attempt. All three are client-filled, not
+	// answer came from a hedge attempt. All four are client-filled, not
 	// part of the wire body.
 	RequestID string `json:"-"`
+	TraceID   string `json:"-"`
 	Attempts  int    `json:"-"`
 	Hedged    bool   `json:"-"`
 }
@@ -332,7 +336,7 @@ func (c *Client) Health(ctx context.Context) error {
 // do is the shared logical-call pipeline: breaker gate → attempt loop
 // with per-attempt timeout and optional hedging → classify → backoff /
 // Retry-After pacing → typed error or response.
-func (c *Client) do(ctx context.Context, path string, req *Request) (*Response, error) {
+func (c *Client) do(ctx context.Context, path string, req *Request) (resp *Response, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
@@ -345,6 +349,17 @@ func (c *Client) do(ctx context.Context, path string, req *Request) (*Response, 
 	// by content, and a stable ID stitches all attempts into one story
 	// in server logs and /debug/requests.
 	reqID := obs.NewRequestID()
+	// The call span is the client-side trace root (or a child, when the
+	// caller's ctx already carries a span — ktgquery's run root). Every
+	// attempt hangs off it as a sibling child span, hedges included.
+	ctx, callSpan := obs.StartSpan(ctx, "client "+path)
+	callSpan.SetAttr("request_id", reqID)
+	defer func() {
+		if err != nil {
+			callSpan.SetError(err.Error())
+		}
+		callSpan.End()
+	}()
 
 	var lastErr error
 	attempts := 0
@@ -367,6 +382,7 @@ func (c *Client) do(ctx context.Context, path string, req *Request) (*Response, 
 		if aerr == nil {
 			c.budget.credit()
 			resp.RequestID = reqID
+			resp.TraceID = callSpan.TraceID()
 			resp.Attempts = attempts
 			resp.Hedged = hedged
 			if resp.Degraded {
@@ -458,7 +474,7 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID st
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	if c.cfg.HedgeDelay <= 0 {
-		resp, err := c.roundTrip(actx, path, body, reqID)
+		resp, err := c.roundTrip(actx, path, body, reqID, false)
 		return resp, false, err
 	}
 
@@ -469,7 +485,7 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID st
 	}
 	ch := make(chan outcome, 2) // buffered: the losing goroutine must not block
 	run := func(hedge bool) {
-		resp, err := c.roundTrip(actx, path, body, reqID)
+		resp, err := c.roundTrip(actx, path, body, reqID, hedge)
 		ch <- outcome{resp, err, hedge}
 	}
 	go run(false)
@@ -508,21 +524,38 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID st
 }
 
 // roundTrip is one HTTP exchange: request out, body fully read,
-// classified into a Response or a typed error.
-func (c *Client) roundTrip(ctx context.Context, path string, body []byte, reqID string) (*Response, error) {
+// classified into a Response or a typed error. Each exchange is its own
+// child span under the call span (retries and the hedge leg show up as
+// siblings), and injects that span's identity via the W3C traceparent
+// header so the server's spans join the same trace.
+func (c *Client) roundTrip(ctx context.Context, path string, body []byte, reqID string, hedge bool) (_ *Response, err error) {
 	mAttempts.Inc()
 	c.st.attempts.Add(1)
+	ctx, span := obs.StartChild(ctx, "client.attempt")
+	if hedge {
+		span.SetAttr("hedge", "true")
+	}
+	defer func() {
+		if err != nil {
+			span.SetError(err.Error())
+		}
+		span.End()
+	}()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("client: building request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set("X-Request-Id", reqID)
+	if sc := span.Context(); sc.Valid() {
+		hreq.Header.Set("traceparent", obs.FormatTraceparent(sc))
+	}
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("client: %s: %w", path, err)
 	}
 	defer hres.Body.Close()
+	span.SetAttr("status", strconv.Itoa(hres.StatusCode))
 	raw, err := io.ReadAll(io.LimitReader(hres.Body, maxResponseBytes))
 	if err != nil {
 		// Includes chaos-truncated bodies (unexpected EOF / reset): the

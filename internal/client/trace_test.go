@@ -1,0 +1,179 @@
+package client_test
+
+// The tracing acceptance test: one logical query through the resilient
+// client against a chaos-wrapped server must yield ONE trace whose
+// spans cover both sides — the client call with its per-attempt child
+// spans (retries and hedges included) and the server's request span
+// with queue/search children — stitched together by the traceparent
+// header and merged in a shared trace store.
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ktg"
+	"ktg/internal/chaos"
+	"ktg/internal/client"
+	"ktg/internal/obs"
+	"ktg/internal/server"
+)
+
+func TestTraceSpansClientRetriesAndServerPhases(t *testing.T) {
+	net, err := ktg.GeneratePreset("brightkite", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client and server share one in-process store, standing in for the
+	// cross-process case where both fragments carry the same trace ID
+	// (propagated via traceparent) into separate stores.
+	traces := obs.NewTraceStore(obs.TraceStoreConfig{})
+	srv, err := server.New(server.Config{
+		Workers:    2,
+		TraceStore: traces,
+	}, &server.Dataset{Name: "brightkite", Network: net, Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := chaos.ParseSpec("seed=5,e500=0.4,e503=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(chaos.New(spec).Wrap(srv.Handler()))
+	defer ts.Close()
+
+	cl, err := client.New(client.Config{
+		BaseURL:     ts.URL,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		HedgeDelay:  20 * time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.ContextWithTraceStore(context.Background(), traces)
+
+	// At a 50% combined injection rate a retried call shows up almost
+	// immediately; the loop keeps the test deterministic-by-seed rather
+	// than betting on the first draw.
+	var resp *client.Response
+	for i := 0; i < 20; i++ {
+		// TopN varies per round so every query is a cache miss and runs
+		// the full queue/search path (a hit would skip both spans).
+		r, err := cl.Query(ctx, &client.Request{
+			Dataset:   "brightkite",
+			Keywords:  net.PopularKeywords(3),
+			GroupSize: 3,
+			Tenuity:   1,
+			TopN:      1 + i%19,
+		})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if r.TraceID == "" {
+			t.Fatalf("query %d: response lacks a trace ID", i)
+		}
+		if r.Attempts >= 2 {
+			resp = r
+			break
+		}
+	}
+	if resp == nil {
+		t.Fatal("20 queries at ~50% fault rate never retried — chaos injection broken?")
+	}
+
+	// The server fragment flushes in the middleware's deferred End,
+	// which can land just after the client reads the response body.
+	tr := awaitSpan(t, traces, resp.TraceID, "server /v1/query")
+
+	byName := map[string][]obs.SpanData{}
+	for _, s := range tr.Spans {
+		if s.TraceID != resp.TraceID {
+			t.Fatalf("span %q carries trace %s, want %s", s.Name, s.TraceID, resp.TraceID)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+
+	// Client side: one call root, one attempt child per round-trip
+	// (hedges are extra attempts beyond resp.Attempts).
+	call := byName["client /v1/query"]
+	if len(call) != 1 {
+		t.Fatalf("want exactly 1 client call span, got %d", len(call))
+	}
+	attempts := byName["client.attempt"]
+	if len(attempts) < resp.Attempts || len(attempts) < 2 {
+		t.Fatalf("client made %d attempts but the trace holds %d attempt spans", resp.Attempts, len(attempts))
+	}
+	for _, a := range attempts {
+		if a.ParentID != call[0].SpanID {
+			t.Fatalf("attempt span not parented to the client call: %+v", a)
+		}
+	}
+
+	// Server side: the request span is a local root whose remote parent
+	// is one of the client's attempt spans — the traceparent hop.
+	srvSpans := byName["server /v1/query"]
+	if len(srvSpans) == 0 {
+		t.Fatal("no server request span in the trace")
+	}
+	attemptIDs := map[string]bool{}
+	for _, a := range attempts {
+		attemptIDs[a.SpanID] = true
+	}
+	for _, ss := range srvSpans {
+		if !ss.RemoteParent {
+			t.Fatalf("server span not marked remote-parented: %+v", ss)
+		}
+		if !attemptIDs[ss.ParentID] {
+			t.Fatalf("server span parent %s is not a client attempt span", ss.ParentID)
+		}
+	}
+	srvIDs := map[string]bool{}
+	for _, ss := range srvSpans {
+		srvIDs[ss.SpanID] = true
+	}
+	if qs := byName["queue.wait"]; len(qs) == 0 || !srvIDs[qs[0].ParentID] {
+		t.Fatalf("queue.wait span missing or mis-parented: %+v", qs)
+	}
+	foundSearch := false
+	for name, spans := range byName {
+		if strings.HasPrefix(name, "search.") {
+			foundSearch = true
+			if !srvIDs[spans[0].ParentID] {
+				t.Fatalf("%s span not parented to the server request span: %+v", name, spans[0])
+			}
+		}
+	}
+	if !foundSearch {
+		t.Fatal("no search.* child span in the trace")
+	}
+}
+
+// awaitSpan polls the store until the trace holds a span with the given
+// name (the server fragment can flush a beat after the client returns).
+func awaitSpan(t *testing.T, store *obs.TraceStore, traceID, name string) *obs.StoredTrace {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tr := store.Get(traceID)
+		if tr != nil {
+			for _, s := range tr.Spans {
+				if s.Name == name {
+					return tr
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never gained a %q span: %+v", traceID, name, tr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

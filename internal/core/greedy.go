@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strconv"
 	"time"
 
 	"ktg/internal/graph"
@@ -59,6 +60,9 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 	if opts.Tracer != nil {
 		opts.Tracer.Span(obs.PhaseCompile, compileTime)
 	}
+	// Nil outside a traced request; every call below is then a no-op.
+	span := obs.SpanFromContext(opts.Context)
+	span.AddCompletedChild(obs.PhaseCompile, compileStart, compileTime)
 	oracle := opts.Oracle
 	if oracle == nil {
 		oracle = index.NewBFSOracle(g)
@@ -159,6 +163,8 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 		opts.Tracer.Span(obs.PhaseExplore, stats.ExploreTime)
 		opts.Tracer.Event(obs.PhaseExplore, "seeds", stats.Nodes)
 	}
+	span.AddCompletedChild(obs.PhaseExplore, exploreStart, stats.ExploreTime,
+		obs.Attr{Key: "seeds", Value: strconv.FormatInt(stats.Nodes, 10)})
 	obs.OrCtx(opts.Context, opts.Logger).Debug("ktg: greedy search done",
 		"seeds", stats.Nodes, "feasible", stats.Feasible,
 		"oracle_calls", stats.OracleCalls, "explore", stats.ExploreTime,

@@ -57,6 +57,11 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 	if opts.Tracer != nil {
 		opts.Tracer.Span(obs.PhaseCompile, compileTime)
 	}
+	// When the caller's context carries a trace span (the server's
+	// search span), the phases also land there as child spans; span is
+	// nil — and every call below a no-op — outside a traced request.
+	span := obs.SpanFromContext(opts.Context)
+	span.AddCompletedChild(obs.PhaseCompile, compileStart, compileTime)
 	oracle := opts.Oracle
 	if oracle == nil {
 		oracle = index.NewBFSOracle(g)
@@ -136,6 +141,8 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		s.tracer.Span(obs.PhaseCandidates, s.stats.CandidateTime)
 		s.tracer.Event(obs.PhaseCandidates, "size", int64(len(root)))
 	}
+	span.AddCompletedChild(obs.PhaseCandidates, candStart, s.stats.CandidateTime,
+		obs.Attr{Key: "size", Value: strconv.Itoa(len(root))})
 
 	exploreStart := time.Now()
 	// A context cancelled before exploration starts skips it outright —
@@ -157,6 +164,12 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 			s.tracer.Event(obs.PhaseExplore, prefix+"filtered", s.stats.DepthFiltered[d])
 		}
 	}
+	// nodes/pruned include branch-and-bound effort; filtered counts the
+	// k-line filter's removals (Theorem 3).
+	span.AddCompletedChild(obs.PhaseExplore, exploreStart, s.stats.ExploreTime,
+		obs.Attr{Key: "nodes", Value: strconv.FormatInt(s.stats.Nodes, 10)},
+		obs.Attr{Key: "pruned", Value: strconv.FormatInt(s.stats.Pruned, 10)},
+		obs.Attr{Key: "filtered", Value: strconv.FormatInt(s.stats.Filtered, 10)})
 
 	res := &Result{
 		Groups:     s.heap.Groups(),

@@ -19,7 +19,7 @@ func tinyEnv() *Env {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	ids := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "ablation"}
+	ids := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "ablation", "small"}
 	all := All()
 	if len(all) != len(ids) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(ids))

@@ -48,6 +48,7 @@ func All() []Experiment {
 		{"fig8", "Figure 8: case study (KTG-VKC-DEG vs DKTG-Greedy vs TAGQ)", runFig8},
 		{"fig9", "Figure 9: index space and construction time", runFig9},
 		{"ablation", "Design-choice ablations (extra, not a paper figure)", runAblation},
+		{"small", "Small CI sweep: brightkite latency vs p (committed benchmark baseline)", runSmall},
 	}
 }
 
@@ -206,6 +207,20 @@ func renderCaseGroups(b *strings.Builder, name string, d *Data, qk []keywords.ID
 			rep.KLines, rep.KTriangles, rep.KTenuity, rep.MinDistance)
 	}
 	fmt.Fprintf(b, "\n")
+}
+
+// runSmall is the committed-baseline experiment: one dataset, one
+// swept parameter, the two headline algorithms. It finishes in seconds
+// at the default scale, so `ktgbench -exp small -json .` can refresh
+// the checked-in BENCH_small.json and CI can diff performance drift
+// without running the full figure suite.
+func runSmall(e *Env) (*Report, error) {
+	rows, err := e.sweep("small", "p", []int{3, 4, 5},
+		[]string{"brightkite"}, []Algo{AlgoVKCDEGNLRNL, AlgoDKTGGreedy})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "small", Title: "small CI sweep", Rows: rows}, nil
 }
 
 // runFig9 measures index space (a) and construction time (b) for both

@@ -18,10 +18,13 @@ import (
 //	/debug/requests      — the flight recorder's recent-request ring (JSON)
 //	/debug/requests/slow — the slow-query log: top-K by latency (JSON)
 //	/debug/inflight      — currently executing requests with elapsed time
+//	/debug/traces        — the tail-sampled trace store listing (JSON)
+//	/debug/traces/{id}   — one trace (JSON; ?format=waterfall for ASCII)
 //
-// The request endpoints serve the process-wide DefaultRecorder,
-// resolved per request so a recorder installed after the mux was built
-// (ktgserver sizes one from its flags) is still picked up.
+// The request endpoints serve the process-wide DefaultRecorder and
+// DefaultTraceStore, resolved per request so a recorder or store
+// installed after the mux was built (ktgserver sizes both from its
+// flags) is still picked up.
 func DebugMux(reg *Registry) *http.ServeMux {
 	if reg == defaultRegistry {
 		PublishExpvar()
@@ -43,12 +46,23 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/inflight", func(w http.ResponseWriter, r *http.Request) {
 		DefaultRecorder().InflightHandler().ServeHTTP(w, r)
 	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		DefaultTraceStore().HandleTraces(w, r)
+	})
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		ts := DefaultTraceStore()
+		if ts == nil {
+			http.Error(w, "trace store disabled", http.StatusNotFound)
+			return
+		}
+		ts.HandleTraceByID(w, r)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "ktg debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/requests\n/debug/requests/slow\n/debug/inflight\n")
+		fmt.Fprint(w, "ktg debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/requests\n/debug/requests/slow\n/debug/inflight\n/debug/traces\n")
 	})
 	return mux
 }

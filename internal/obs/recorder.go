@@ -26,7 +26,10 @@ const (
 // deliberately untyped (obs sits below the packages that define search
 // statistics); it must marshal cleanly to JSON.
 type RequestRecord struct {
-	ID           string        `json:"id"`
+	ID string `json:"id"`
+	// TraceID deep-links the record to its stored trace
+	// (/debug/traces/{trace_id}); empty when tracing was off.
+	TraceID      string        `json:"trace_id,omitempty"`
 	Endpoint     string        `json:"endpoint"`
 	Dataset      string        `json:"dataset,omitempty"`
 	Algorithm    string        `json:"algorithm,omitempty"`

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// TraceID identifies one distributed trace: 16 random bytes, rendered
+// as 32 lowercase hex characters on the wire (W3C trace-context
+// trace-id). The zero value is invalid per the spec.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace: 8 random bytes, 16 hex
+// characters on the wire (W3C parent-id). The zero value is invalid.
+type SpanID [8]byte
+
+// NewTraceID returns a fresh random trace ID. Like NewRequestID it
+// degrades to a constant non-zero ID if crypto/rand fails rather than
+// surfacing an error nobody can act on.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil || t.IsZero() {
+		t[15] = 1
+	}
+	return t
+}
+
+// NewSpanID returns a fresh random span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	if _, err := rand.Read(s[:]); err != nil || s.IsZero() {
+		s[7] = 1
+	}
+	return s
+}
+
+// IsZero reports whether the ID is the all-zero (invalid) value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the all-zero (invalid) value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the trace ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the span ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses a 32-character lowercase-hex trace ID (the form
+// TraceID.String produces and /debug/traces/{id} accepts).
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 || !isLowerHex(s) {
+		return t, fmt.Errorf("obs: trace ID %q must be 32 lowercase hex characters", s)
+	}
+	_, _ = hex.Decode(t[:], []byte(s))
+	if t.IsZero() {
+		return t, errors.New("obs: trace ID must not be all zeros")
+	}
+	return t, nil
+}
+
+// SpanContext is the propagatable identity of a span: what travels in a
+// W3C `traceparent` header. Remote marks a context recovered from the
+// wire rather than created in this process.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+	Remote  bool
+}
+
+// Valid reports whether the context carries usable (non-zero) IDs.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent codec errors. All parse failures wrap ErrTraceparent so
+// callers can collapse "any malformed header" into one branch.
+var ErrTraceparent = errors.New("obs: malformed traceparent")
+
+// FormatTraceparent renders sc as a W3C trace-context `traceparent`
+// header value, version 00: "00-<trace-id>-<parent-id>-<trace-flags>".
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C `traceparent` header value. Per the
+// trace-context spec it accepts exactly:
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//
+// with version and trace-flags 2 lowercase hex chars, trace-id 32,
+// parent-id 16, all-zero IDs invalid, and version "ff" forbidden.
+// Unknown future versions (anything other than "00") are accepted as
+// long as the version-00 prefix parses and any extra content is
+// separated by "-", as the spec requires of forward-compatible
+// consumers. The returned context always has Remote set.
+func ParseTraceparent(h string) (SpanContext, error) {
+	var sc SpanContext
+	// version-00 layout: 2+1+32+1+16+1+2 = 55 bytes.
+	if len(h) < 55 {
+		return sc, fmt.Errorf("%w: %d bytes, need at least 55", ErrTraceparent, len(h))
+	}
+	version := h[0:2]
+	if !isLowerHex(version) {
+		return sc, fmt.Errorf("%w: version %q is not hex", ErrTraceparent, version)
+	}
+	if version == "ff" {
+		return sc, fmt.Errorf("%w: version ff is forbidden", ErrTraceparent)
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, fmt.Errorf("%w: field separators misplaced", ErrTraceparent)
+	}
+	if version == "00" && len(h) != 55 {
+		return sc, fmt.Errorf("%w: version 00 must be exactly 55 bytes, got %d", ErrTraceparent, len(h))
+	}
+	if version != "00" && len(h) > 55 && h[55] != '-' {
+		return sc, fmt.Errorf("%w: future-version data must be dash-separated", ErrTraceparent)
+	}
+	traceID, parentID, flags := h[3:35], h[36:52], h[53:55]
+	if !isLowerHex(traceID) {
+		return sc, fmt.Errorf("%w: trace-id is not lowercase hex", ErrTraceparent)
+	}
+	if !isLowerHex(parentID) {
+		return sc, fmt.Errorf("%w: parent-id is not lowercase hex", ErrTraceparent)
+	}
+	if !isLowerHex(flags) {
+		return sc, fmt.Errorf("%w: trace-flags is not lowercase hex", ErrTraceparent)
+	}
+	_, _ = hex.Decode(sc.TraceID[:], []byte(traceID))
+	_, _ = hex.Decode(sc.SpanID[:], []byte(parentID))
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, fmt.Errorf("%w: trace-id must not be all zeros", ErrTraceparent)
+	}
+	if sc.SpanID.IsZero() {
+		return SpanContext{}, fmt.Errorf("%w: parent-id must not be all zeros", ErrTraceparent)
+	}
+	fb, _ := hex.DecodeString(flags)
+	sc.Sampled = fb[0]&0x01 != 0
+	sc.Remote = true
+	return sc, nil
+}
+
+// isLowerHex reports whether s consists only of [0-9a-f]. The W3C spec
+// requires lowercase; uppercase hex is a parse error.
+func isLowerHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

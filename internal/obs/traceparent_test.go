@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{
+		TraceID: NewTraceID(),
+		SpanID:  NewSpanID(),
+		Sampled: true,
+	}
+	hdr := FormatTraceparent(sc)
+	if len(hdr) != 55 {
+		t.Fatalf("header length = %d, want 55: %q", len(hdr), hdr)
+	}
+	got, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if got.TraceID != sc.TraceID || got.SpanID != sc.SpanID {
+		t.Fatalf("round trip lost IDs: sent %+v got %+v", sc, got)
+	}
+	if !got.Sampled {
+		t.Fatal("sampled flag lost in round trip")
+	}
+	if !got.Remote {
+		t.Fatal("parsed context must be marked remote")
+	}
+}
+
+func TestTraceparentSampledFlag(t *testing.T) {
+	const id = "4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7"
+	cases := []struct {
+		flags   string
+		sampled bool
+	}{
+		{"00", false},
+		{"01", true},
+		{"03", true},  // extra bits set, sampled bit on
+		{"fe", false}, // extra bits set, sampled bit off
+	}
+	for _, c := range cases {
+		sc, err := ParseTraceparent("00-" + id + "-" + c.flags)
+		if err != nil {
+			t.Fatalf("flags %s: %v", c.flags, err)
+		}
+		if sc.Sampled != c.sampled {
+			t.Errorf("flags %s: sampled = %v, want %v", c.flags, sc.Sampled, c.sampled)
+		}
+	}
+	// Unsampled contexts must format back with flags 00.
+	sc, _ := ParseTraceparent("00-" + id + "-00")
+	sc.Remote = false
+	if hdr := FormatTraceparent(sc); !strings.HasSuffix(hdr, "-00") {
+		t.Fatalf("unsampled context formatted as %q, want -00 suffix", hdr)
+	}
+}
+
+func TestTraceparentFutureVersion(t *testing.T) {
+	// Per W3C trace-context, a parser must accept headers from future
+	// versions, reading the v00 prefix and ignoring the extra suffix.
+	sc, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extradata")
+	if err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+	if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" || !sc.Sampled {
+		t.Fatalf("future-version parse wrong: %+v", sc)
+	}
+}
+
+func TestTraceparentMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"too short":          "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+		"version ff":         "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"non-hex version":    "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"uppercase trace id": "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"non-hex trace id":   "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",
+		"zero trace id":      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":       "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"short trace id":     "00-4bf92f3577b34da6a3ce929d0e0e473-000f067aa0ba902b7-01",
+		"bad separator":      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"non-hex flags":      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x",
+		"v00 with suffix":    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"future no dash":     "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",
+	}
+	for name, hdr := range cases {
+		if _, err := ParseTraceparent(hdr); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) succeeded, want error", name, hdr)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := NewTraceID()
+	got, err := ParseTraceID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("round trip: %v != %v", got, id)
+	}
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 32), strings.Repeat("A", 32)} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// FuzzParseTraceparent asserts the parser never panics and that every
+// accepted header carries valid non-zero IDs that survive a re-format
+// round trip of the v00 prefix.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-more")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add("00-zzzz-bad-01")
+	f.Fuzz(func(t *testing.T, hdr string) {
+		sc, err := ParseTraceparent(hdr)
+		if err != nil {
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted header %q yielded invalid context %+v", hdr, sc)
+		}
+		if !sc.Remote {
+			t.Fatalf("accepted header %q not marked remote", hdr)
+		}
+		reparsed, err := ParseTraceparent(FormatTraceparent(sc))
+		if err != nil {
+			t.Fatalf("re-format of accepted %q does not parse: %v", hdr, err)
+		}
+		if reparsed.TraceID != sc.TraceID || reparsed.SpanID != sc.SpanID || reparsed.Sampled != sc.Sampled {
+			t.Fatalf("re-format round trip drifted: %+v -> %+v", sc, reparsed)
+		}
+	})
+}

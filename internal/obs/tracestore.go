@@ -1,0 +1,640 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace-subsystem metrics. Spans are counted at End; the store splits
+// finished traces into kept (flagged: error/degraded/slow), sampled
+// (probabilistic) and dropped, and counts evictions from both rings.
+var (
+	mSpans = Default().Counter(
+		"ktg_trace_spans_total", "spans completed by the tracing subsystem")
+	mTraceKept = Default().Counter(
+		"ktg_trace_kept_total", "traces retained by the tail sampler because they were slow, errored, or degraded")
+	mTraceSampled = Default().Counter(
+		"ktg_trace_sampled_total", "unflagged traces retained by probabilistic sampling")
+	mTraceDropped = Default().Counter(
+		"ktg_trace_dropped_total", "unflagged traces discarded by the tail sampler")
+	mTraceEvicted = Default().Counter(
+		"ktg_trace_evicted_total", "stored traces evicted to respect the trace-store capacity bound")
+)
+
+// StoredTrace is one trace as retained by the store: the merge of every
+// fragment (client call, server request) offered under the same trace
+// ID, plus the tail-sampling verdict.
+type StoredTrace struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanData `json:"spans"`
+	// Kept marks a trace in the protected tier: it contained an
+	// errored span, a degraded outcome, or ran past the slow
+	// threshold, so a flood of fast traces cannot evict it.
+	Kept bool `json:"kept"`
+	// Why records which flags put the trace in the protected tier.
+	Why []string `json:"why,omitempty"`
+	// Updated is when the last fragment merged in (eviction order).
+	Updated time.Time `json:"updated"`
+}
+
+// Duration returns the wall-clock extent of the trace: earliest span
+// start to latest span end.
+func (t *StoredTrace) Duration() time.Duration {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	var lo, hi time.Time
+	for i, s := range t.Spans {
+		end := s.Start.Add(s.Duration)
+		if i == 0 || s.Start.Before(lo) {
+			lo = s.Start
+		}
+		if end.After(hi) {
+			hi = end
+		}
+	}
+	return hi.Sub(lo)
+}
+
+// Root returns the trace's best root span: a span with no parent, or
+// failing that a local root with a remote parent, or the first span.
+func (t *StoredTrace) Root() *SpanData {
+	if len(t.Spans) == 0 {
+		return nil
+	}
+	var remote *SpanData
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		if s.ParentID == "" {
+			return s
+		}
+		if s.RemoteParent && remote == nil {
+			remote = s
+		}
+	}
+	if remote != nil {
+		return remote
+	}
+	return &t.Spans[0]
+}
+
+// TraceStoreConfig bounds the store and sets the tail-sampling policy.
+type TraceStoreConfig struct {
+	// KeptCapacity bounds the protected tier (default 256).
+	KeptCapacity int
+	// SampledCapacity bounds the probabilistic tier (default 256).
+	SampledCapacity int
+	// SampleRate is the admission probability for unflagged traces:
+	// 1 admits everything (retention still bounded by the ring), 0
+	// means "default" (1), and any negative value stores flagged
+	// traces only.
+	SampleRate float64
+	// SlowThreshold flags traces whose wall-clock duration meets or
+	// exceeds it; 0 disables duration-based keeping.
+	SlowThreshold time.Duration
+}
+
+func (c TraceStoreConfig) withDefaults() TraceStoreConfig {
+	if c.KeptCapacity <= 0 {
+		c.KeptCapacity = 256
+	}
+	if c.SampledCapacity <= 0 {
+		c.SampledCapacity = 256
+	}
+	switch {
+	case c.SampleRate == 0 || c.SampleRate > 1:
+		c.SampleRate = 1
+	case c.SampleRate < 0:
+		c.SampleRate = 0
+	}
+	return c
+}
+
+// TraceStore is a bounded in-process trace repository with tail
+// sampling. Fragments (span batches sharing a trace ID) are merged on
+// arrival; the keep-vs-sample verdict is re-evaluated on every merge,
+// so a trace admitted probabilistically is promoted to the protected
+// tier the moment a late fragment flags it. Both tiers evict their
+// oldest entry (by last update) when full — but only flagged traces
+// live in the protected tier, so a flood of fast, healthy traffic can
+// never push out the slow and broken traces an operator needs.
+type TraceStore struct {
+	cfg TraceStoreConfig
+
+	mu      sync.Mutex
+	traces  map[string]*StoredTrace
+	kept    []string // trace IDs in the protected tier, oldest first
+	sampled []string // trace IDs in the probabilistic tier, oldest first
+
+	exporter atomic.Pointer[TraceExporter]
+}
+
+// NewTraceStore builds a store with the given bounds and policy.
+func NewTraceStore(cfg TraceStoreConfig) *TraceStore {
+	return &TraceStore{
+		cfg:    cfg.withDefaults(),
+		traces: make(map[string]*StoredTrace),
+	}
+}
+
+// SetExporter attaches an exporter invoked (outside the store lock) for
+// every admitted fragment; nil detaches.
+func (ts *TraceStore) SetExporter(e *TraceExporter) {
+	if ts == nil {
+		return
+	}
+	ts.exporter.Store(e)
+}
+
+// sampleAdmit decides probabilistic admission for an unflagged trace.
+// The decision is keyed off the trace ID so every process tracing the
+// same request reaches the same verdict — a client fragment and a
+// server fragment of one trace are either both stored or both dropped.
+func (ts *TraceStore) sampleAdmit(traceID string) bool {
+	r := ts.cfg.SampleRate
+	if r >= 1 {
+		return true
+	}
+	if r <= 0 {
+		return false
+	}
+	var id TraceID
+	t, err := ParseTraceID(traceID)
+	if err == nil {
+		id = t
+	}
+	// Uniform in [0,1) from the low 8 bytes of the (random) trace ID.
+	v := binary.BigEndian.Uint64(id[8:])
+	return float64(v)/float64(1<<63)/2 < r
+}
+
+// flags returns the tail-sampling keep reasons for a fragment.
+func (ts *TraceStore) flags(spans []SpanData) []string {
+	var why []string
+	slow := false
+	for _, s := range spans {
+		if s.Status == StatusError {
+			why = append(why, "error")
+			break
+		}
+	}
+	for _, s := range spans {
+		for _, a := range s.Attrs {
+			if a.Key == "outcome" && a.Value == "degraded" {
+				why = append(why, "degraded")
+				break
+			}
+		}
+		if len(why) > 0 && why[len(why)-1] == "degraded" {
+			break
+		}
+	}
+	if ts.cfg.SlowThreshold > 0 {
+		var lo, hi time.Time
+		for i, s := range spans {
+			end := s.Start.Add(s.Duration)
+			if i == 0 || s.Start.Before(lo) {
+				lo = s.Start
+			}
+			if end.After(hi) {
+				hi = end
+			}
+		}
+		slow = hi.Sub(lo) >= ts.cfg.SlowThreshold
+	}
+	if slow {
+		why = append(why, "slow")
+	}
+	return why
+}
+
+// Offer hands a completed trace fragment to the store. Safe on a nil
+// receiver (tracing disabled).
+func (ts *TraceStore) Offer(spans []SpanData) {
+	if ts == nil || len(spans) == 0 {
+		return
+	}
+	traceID := spans[0].TraceID
+	why := ts.flags(spans)
+
+	ts.mu.Lock()
+	existing := ts.traces[traceID]
+	switch {
+	case existing != nil:
+		existing.Spans = append(existing.Spans, spans...)
+		existing.Updated = time.Now()
+		// Merge may introduce new flags (e.g. the server fragment was
+		// clean but the client fragment saw the error) or push the
+		// wall-clock duration over the slow threshold.
+		full := ts.flags(existing.Spans)
+		if len(full) > 0 && !existing.Kept {
+			existing.Kept = true
+			existing.Why = full
+			ts.removeID(&ts.sampled, traceID)
+			ts.kept = append(ts.kept, traceID)
+			ts.evictLocked(&ts.kept)
+			mTraceKept.Inc()
+		} else if existing.Kept {
+			existing.Why = full
+		}
+	case len(why) > 0:
+		ts.traces[traceID] = &StoredTrace{
+			TraceID: traceID, Spans: spans, Kept: true, Why: why, Updated: time.Now(),
+		}
+		ts.kept = append(ts.kept, traceID)
+		ts.evictLocked(&ts.kept)
+		mTraceKept.Inc()
+	case ts.sampleAdmit(traceID):
+		ts.traces[traceID] = &StoredTrace{
+			TraceID: traceID, Spans: spans, Updated: time.Now(),
+		}
+		ts.sampled = append(ts.sampled, traceID)
+		ts.evictLocked(&ts.sampled)
+		mTraceSampled.Inc()
+	default:
+		ts.mu.Unlock()
+		mTraceDropped.Inc()
+		return
+	}
+	ts.mu.Unlock()
+
+	if e := ts.exporter.Load(); e != nil {
+		e.Export(spans)
+	}
+}
+
+// removeID deletes id from a tier slice (no-op if absent).
+func (ts *TraceStore) removeID(tier *[]string, id string) {
+	for i, v := range *tier {
+		if v == id {
+			*tier = append((*tier)[:i], (*tier)[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked trims the tier to its capacity, dropping oldest first.
+// Caller holds ts.mu.
+func (ts *TraceStore) evictLocked(tier *[]string) {
+	limit := ts.cfg.SampledCapacity
+	if tier == &ts.kept {
+		limit = ts.cfg.KeptCapacity
+	}
+	for len(*tier) > limit {
+		victim := (*tier)[0]
+		*tier = (*tier)[1:]
+		delete(ts.traces, victim)
+		mTraceEvicted.Inc()
+	}
+}
+
+// Get returns a copy of the stored trace for id, or nil.
+func (ts *TraceStore) Get(id string) *StoredTrace {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t := ts.traces[id]
+	if t == nil {
+		return nil
+	}
+	cp := *t
+	cp.Spans = append([]SpanData(nil), t.Spans...)
+	cp.Why = append([]string(nil), t.Why...)
+	return &cp
+}
+
+// TraceSummary is one row of the /debug/traces listing.
+type TraceSummary struct {
+	TraceID  string        `json:"trace_id"`
+	Root     string        `json:"root"`
+	Spans    int           `json:"spans"`
+	Duration time.Duration `json:"duration_ns"`
+	Status   string        `json:"status"`
+	Kept     bool          `json:"kept"`
+	Why      []string      `json:"why,omitempty"`
+	Updated  time.Time     `json:"updated"`
+}
+
+// List returns summaries of every stored trace, newest first.
+func (ts *TraceStore) List() []TraceSummary {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	out := make([]TraceSummary, 0, len(ts.traces))
+	for _, t := range ts.traces {
+		sum := TraceSummary{
+			TraceID:  t.TraceID,
+			Spans:    len(t.Spans),
+			Duration: t.Duration(),
+			Status:   StatusOK,
+			Kept:     t.Kept,
+			Why:      append([]string(nil), t.Why...),
+			Updated:  t.Updated,
+		}
+		if r := t.Root(); r != nil {
+			sum.Root = r.Name
+		}
+		for _, s := range t.Spans {
+			if s.Status == StatusError {
+				sum.Status = StatusError
+				break
+			}
+		}
+		out = append(out, sum)
+	}
+	ts.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Updated.After(out[j].Updated) })
+	return out
+}
+
+// Len returns the number of stored traces.
+func (ts *TraceStore) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.traces)
+}
+
+// defaultTraceStore mirrors the DefaultRecorder pattern: an atomic
+// process-wide default that servers install at startup. Unlike the
+// recorder there is no always-on fallback — tracing stores nothing
+// until a store is installed (spans still propagate IDs).
+var defaultTraceStore atomic.Pointer[TraceStore]
+
+// DefaultTraceStore returns the process-wide trace store, or nil when
+// tracing retention is disabled.
+func DefaultTraceStore() *TraceStore { return defaultTraceStore.Load() }
+
+// SetDefaultTraceStore installs (or, with nil, removes) the
+// process-wide trace store.
+func SetDefaultTraceStore(ts *TraceStore) { defaultTraceStore.Store(ts) }
+
+// ---- HTTP handlers --------------------------------------------------
+
+// HandleTraces serves GET /debug/traces: the JSON trace listing.
+func (ts *TraceStore) HandleTraces(w http.ResponseWriter, r *http.Request) {
+	if ts == nil {
+		http.Error(w, "trace store disabled", http.StatusNotFound)
+		return
+	}
+	writeDebugJSON(w, map[string]any{
+		"count":  ts.Len(),
+		"traces": ts.List(),
+	})
+}
+
+// HandleTraceByID serves GET /debug/traces/{id}: the full trace as JSON
+// or, with ?format=waterfall (or an Accept header preferring
+// text/plain), an ASCII waterfall.
+func (ts *TraceStore) HandleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		// Fallback for muxes without path values: last path segment.
+		parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+		id = parts[len(parts)-1]
+	}
+	if _, err := ParseTraceID(id); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	t := ts.Get(id)
+	if t == nil {
+		http.Error(w, "trace not found (evicted, sampled out, or never stored)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "waterfall" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(Waterfall(t)))
+		return
+	}
+	writeDebugJSON(w, t)
+}
+
+// ---- ASCII waterfall ------------------------------------------------
+
+// Waterfall renders a stored trace as a text timeline: one row per
+// span, indented by depth, with a bar showing each span's offset and
+// extent relative to the whole trace.
+func Waterfall(t *StoredTrace) string {
+	if t == nil || len(t.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	spans := append([]SpanData(nil), t.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+
+	var lo, hi time.Time
+	byID := make(map[string]*SpanData, len(spans))
+	children := make(map[string][]*SpanData)
+	for i := range spans {
+		s := &spans[i]
+		end := s.Start.Add(s.Duration)
+		if i == 0 || s.Start.Before(lo) {
+			lo = s.Start
+		}
+		if end.After(hi) {
+			hi = end
+		}
+		byID[s.SpanID] = s
+	}
+	var roots []*SpanData
+	for i := range spans {
+		s := &spans[i]
+		if s.ParentID != "" && byID[s.ParentID] != nil {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	total := hi.Sub(lo)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+
+	const cols = 48
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  spans=%d  total=%s", t.TraceID, len(spans), total.Round(time.Microsecond))
+	if len(t.Why) > 0 {
+		fmt.Fprintf(&b, "  kept=%s", strings.Join(t.Why, ","))
+	}
+	b.WriteString("\n")
+
+	var walk func(s *SpanData, depth int)
+	walk = func(s *SpanData, depth int) {
+		startCol := int(float64(s.Start.Sub(lo)) / float64(total) * cols)
+		width := int(float64(s.Duration) / float64(total) * cols)
+		if width < 1 {
+			width = 1
+		}
+		if startCol > cols-1 {
+			startCol = cols - 1
+		}
+		if startCol+width > cols {
+			width = cols - startCol
+		}
+		bar := strings.Repeat(" ", startCol) + strings.Repeat("█", width) +
+			strings.Repeat(" ", cols-startCol-width)
+		name := strings.Repeat("  ", depth) + s.Name
+		mark := " "
+		if s.Status == StatusError {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, "%s %-32s |%s| %10s", mark, truncName(name, 32), bar, s.Duration.Round(time.Microsecond))
+		if s.StatusMsg != "" {
+			fmt.Fprintf(&b, "  %s", s.StatusMsg)
+		}
+		b.WriteString("\n")
+		kids := children[s.SpanID]
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+func truncName(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// ---- OTLP-compatible JSON file exporter -----------------------------
+
+// TraceExporter appends trace fragments to a file as newline-delimited
+// OTLP/JSON ExportTraceServiceRequest objects, so stored traces can be
+// replayed into any OTLP-speaking backend offline. It is deliberately
+// minimal: one resource, one scope, string attributes.
+type TraceExporter struct {
+	service string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// NewTraceExporter opens (appending) the export file.
+func NewTraceExporter(path, service string) (*TraceExporter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open trace export file: %w", err)
+	}
+	return &TraceExporter{service: service, f: f}, nil
+}
+
+// Close flushes and closes the export file.
+func (e *TraceExporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.f.Close()
+}
+
+// otlp JSON shapes (subset of the OTLP/JSON trace encoding).
+type otlpKV struct {
+	Key   string `json:"key"`
+	Value struct {
+		StringValue string `json:"stringValue"`
+	} `json:"value"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string   `json:"timeUnixNano"`
+	Name         string   `json:"name"`
+	Attributes   []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID           string      `json:"traceId"`
+	SpanID            string      `json:"spanId"`
+	ParentSpanID      string      `json:"parentSpanId,omitempty"`
+	Name              string      `json:"name"`
+	Kind              int         `json:"kind"`
+	StartTimeUnixNano string      `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string      `json:"endTimeUnixNano"`
+	Attributes        []otlpKV    `json:"attributes,omitempty"`
+	Events            []otlpEvent `json:"events,omitempty"`
+	Status            *struct {
+		Code    int    `json:"code"`
+		Message string `json:"message,omitempty"`
+	} `json:"status,omitempty"`
+}
+
+func kv(k, v string) otlpKV {
+	var p otlpKV
+	p.Key = k
+	p.Value.StringValue = v
+	return p
+}
+
+// Export appends one fragment as an OTLP/JSON request line.
+func (e *TraceExporter) Export(spans []SpanData) {
+	if e == nil || len(spans) == 0 {
+		return
+	}
+	out := make([]otlpSpan, 0, len(spans))
+	for _, s := range spans {
+		sp := otlpSpan{
+			TraceID:           s.TraceID,
+			SpanID:            s.SpanID,
+			ParentSpanID:      s.ParentID,
+			Name:              s.Name,
+			Kind:              1, // SPAN_KIND_INTERNAL
+			StartTimeUnixNano: fmt.Sprintf("%d", s.Start.UnixNano()),
+			EndTimeUnixNano:   fmt.Sprintf("%d", s.Start.Add(s.Duration).UnixNano()),
+		}
+		for _, a := range s.Attrs {
+			sp.Attributes = append(sp.Attributes, kv(a.Key, a.Value))
+		}
+		for _, ev := range s.Events {
+			sp.Events = append(sp.Events, otlpEvent{
+				TimeUnixNano: fmt.Sprintf("%d", ev.Time.UnixNano()),
+				Name:         ev.Name,
+				Attributes:   []otlpKV{kv("value", fmt.Sprintf("%d", ev.Value))},
+			})
+		}
+		if s.Status == StatusError {
+			sp.Status = &struct {
+				Code    int    `json:"code"`
+				Message string `json:"message,omitempty"`
+			}{Code: 2, Message: s.StatusMsg} // STATUS_CODE_ERROR
+		}
+		out = append(out, sp)
+	}
+	req := map[string]any{
+		"resourceSpans": []map[string]any{{
+			"resource": map[string]any{
+				"attributes": []otlpKV{kv("service.name", e.service)},
+			},
+			"scopeSpans": []map[string]any{{
+				"scope": map[string]any{"name": "ktg/internal/obs"},
+				"spans": out,
+			}},
+		}},
+	}
+	line, err := json.Marshal(req)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	e.mu.Lock()
+	_, _ = e.f.Write(line)
+	e.mu.Unlock()
+}

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// frag fabricates a single-span fragment for direct Offer tests.
+func frag(name string, mut ...func(*SpanData)) []SpanData {
+	sd := SpanData{
+		TraceID:  NewTraceID().String(),
+		SpanID:   NewSpanID().String(),
+		Name:     name,
+		Start:    time.Now(),
+		Duration: time.Millisecond,
+		Status:   StatusOK,
+	}
+	for _, m := range mut {
+		m(&sd)
+	}
+	return []SpanData{sd}
+}
+
+func asError(sd *SpanData)    { sd.Status = StatusError; sd.StatusMsg = "boom" }
+func asDegraded(sd *SpanData) { sd.Attrs = append(sd.Attrs, Attr{Key: "outcome", Value: "degraded"}) }
+
+// TestFloodCannotEvictFlaggedTraces is the retention acceptance check:
+// with tiny bounds and an unbounded stream of fast, healthy traffic,
+// every error, degraded, and slow trace must survive in the store.
+func TestFloodCannotEvictFlaggedTraces(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{
+		KeptCapacity:    8,
+		SampledCapacity: 4,
+		SlowThreshold:   100 * time.Millisecond,
+	})
+
+	var flagged []string
+	offer := func(spans []SpanData) string {
+		ts.Offer(spans)
+		return spans[0].TraceID
+	}
+	flagged = append(flagged, offer(frag("q", asError)))
+	flagged = append(flagged, offer(frag("q", asDegraded)))
+	flagged = append(flagged, offer(frag("q", func(sd *SpanData) { sd.Duration = 250 * time.Millisecond })))
+
+	for i := 0; i < 500; i++ {
+		offer(frag("fast"))
+	}
+
+	for _, id := range flagged {
+		tr := ts.Get(id)
+		if tr == nil {
+			t.Fatalf("flagged trace %s evicted by the flood", id)
+		}
+		if !tr.Kept || len(tr.Why) == 0 {
+			t.Fatalf("flagged trace %s stored unprotected: %+v", id, tr)
+		}
+	}
+	if n := ts.Len(); n > 8+4 {
+		t.Fatalf("store holds %d traces, want <= 12 (bounded)", n)
+	}
+}
+
+// TestFlaggedFloodEvictsOldestFlagged: the protected tier itself is
+// bounded too — errors evict older errors, never the other way around
+// from the sampled tier.
+func TestFlaggedFloodEvictsOldestFlagged(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{KeptCapacity: 4, SampledCapacity: 4})
+	first := frag("q", asError)
+	ts.Offer(first)
+	for i := 0; i < 10; i++ {
+		ts.Offer(frag("q", asError))
+	}
+	if ts.Get(first[0].TraceID) != nil {
+		t.Fatal("oldest flagged trace should have been evicted by newer flagged traces")
+	}
+	if n := ts.Len(); n != 4 {
+		t.Fatalf("kept tier holds %d, want 4", n)
+	}
+}
+
+func TestMergePromotesSampledToKept(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{})
+	clean := frag("client /v1/query")
+	ts.Offer(clean)
+	if tr := ts.Get(clean[0].TraceID); tr == nil || tr.Kept {
+		t.Fatalf("clean fragment should be stored unprotected, got %+v", tr)
+	}
+	// The server fragment of the same trace arrives later and failed.
+	errSpan := frag("server /v1/query", asError)
+	errSpan[0].TraceID = clean[0].TraceID
+	ts.Offer(errSpan)
+
+	tr := ts.Get(clean[0].TraceID)
+	if tr == nil || !tr.Kept {
+		t.Fatalf("merge with an error fragment must promote to the kept tier: %+v", tr)
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("merged trace has %d spans, want 2", len(tr.Spans))
+	}
+	if !strings.Contains(strings.Join(tr.Why, ","), "error") {
+		t.Fatalf("Why = %v, want to include error", tr.Why)
+	}
+}
+
+func TestNegativeSampleRateStoresFlaggedOnly(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{SampleRate: -1})
+	clean := frag("q")
+	bad := frag("q", asError)
+	ts.Offer(clean)
+	ts.Offer(bad)
+	if ts.Get(clean[0].TraceID) != nil {
+		t.Fatal("rate<0 stored a clean trace")
+	}
+	if ts.Get(bad[0].TraceID) == nil {
+		t.Fatal("rate<0 dropped an error trace")
+	}
+}
+
+// TestSampleAdmitDeterministic: the verdict is a pure function of the
+// trace ID, so the client and server processes agree per trace.
+func TestSampleAdmitDeterministic(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{SampleRate: 0.5})
+	admitted, total := 0, 2000
+	for i := 0; i < total; i++ {
+		id := NewTraceID().String()
+		a := ts.sampleAdmit(id)
+		if b := ts.sampleAdmit(id); a != b {
+			t.Fatalf("verdict for %s flip-flopped", id)
+		}
+		if a {
+			admitted++
+		}
+	}
+	if admitted < total/4 || admitted > 3*total/4 {
+		t.Fatalf("rate 0.5 admitted %d/%d — badly skewed", admitted, total)
+	}
+}
+
+func TestTraceStoreNilSafe(t *testing.T) {
+	var ts *TraceStore
+	ts.Offer(frag("q"))
+	ts.SetExporter(nil)
+	if ts.Get("deadbeef") != nil || ts.Len() != 0 || ts.List() != nil {
+		t.Fatal("nil store must behave as empty")
+	}
+}
+
+func TestWaterfallRendersHierarchy(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{})
+	ctx := ContextWithTraceStore(t.Context(), ts)
+	ctx, root := StartSpan(ctx, "server /v1/query")
+	_, child := StartSpan(ctx, "search.ktg")
+	child.SetError("budget exhausted")
+	child.End()
+	root.End()
+
+	w := Waterfall(ts.Get(root.TraceID()))
+	if !strings.Contains(w, "server /v1/query") || !strings.Contains(w, "search.ktg") {
+		t.Fatalf("waterfall lacks span names:\n%s", w)
+	}
+	if !strings.Contains(w, "!") {
+		t.Fatalf("waterfall does not mark the errored span:\n%s", w)
+	}
+	if !strings.Contains(w, root.TraceID()) {
+		t.Fatalf("waterfall header lacks the trace ID:\n%s", w)
+	}
+}
+
+func TestTraceHTTPHandlers(t *testing.T) {
+	ts := NewTraceStore(TraceStoreConfig{})
+	ctx := ContextWithTraceStore(t.Context(), ts)
+	_, sp := StartSpan(ctx, "server /v1/query")
+	sp.End()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", ts.HandleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", ts.HandleTraceByID)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var index struct {
+		Count  int            `json:"count"`
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&index); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if index.Count != 1 || len(index.Traces) != 1 || index.Traces[0].TraceID != sp.TraceID() {
+		t.Fatalf("trace index = %+v", index)
+	}
+
+	res, err = http.Get(srv.URL + "/debug/traces/" + sp.TraceID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr StoredTrace
+	if err := json.NewDecoder(res.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "server /v1/query" {
+		t.Fatalf("trace detail = %+v", tr)
+	}
+
+	for path, want := range map[string]int{
+		"/debug/traces/zzzz":                                  http.StatusBadRequest,
+		"/debug/traces/" + NewTraceID().String():              http.StatusNotFound,
+		"/debug/traces/" + sp.TraceID() + "?format=waterfall": http.StatusOK,
+	} {
+		res, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, res.StatusCode, want)
+		}
+	}
+}
+
+func TestTraceExporterWritesOTLPLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	exp, err := NewTraceExporter(path, "testsvc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTraceStore(TraceStoreConfig{})
+	ts.SetExporter(exp)
+
+	ctx := ContextWithTraceStore(t.Context(), ts)
+	ctx, root := StartSpan(ctx, "client /v1/query")
+	_, child := StartSpan(ctx, "client.attempt")
+	child.SetAttr("hedge", "false")
+	child.End()
+	root.End()
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var doc struct {
+			ResourceSpans []struct {
+				Resource struct {
+					Attributes []struct {
+						Key   string `json:"key"`
+						Value struct {
+							StringValue string `json:"stringValue"`
+						} `json:"value"`
+					} `json:"attributes"`
+				} `json:"resource"`
+				ScopeSpans []struct {
+					Spans []struct {
+						TraceID string `json:"traceId"`
+						SpanID  string `json:"spanId"`
+						Name    string `json:"name"`
+					} `json:"spans"`
+				} `json:"scopeSpans"`
+			} `json:"resourceSpans"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &doc); err != nil {
+			t.Fatalf("line %d is not valid OTLP JSON: %v\n%s", lines, err, sc.Text())
+		}
+		rs := doc.ResourceSpans[0]
+		service := ""
+		for _, a := range rs.Resource.Attributes {
+			if a.Key == "service.name" {
+				service = a.Value.StringValue
+			}
+		}
+		if service != "testsvc" {
+			t.Fatalf("line %d service.name = %q", lines, service)
+		}
+		spans := rs.ScopeSpans[0].Spans
+		if len(spans) != 2 {
+			t.Fatalf("line %d holds %d spans, want the full fragment (2)", lines, len(spans))
+		}
+		for _, s := range spans {
+			if s.TraceID != root.TraceID() || s.SpanID == "" || s.Name == "" {
+				t.Fatalf("exported span malformed: %+v", s)
+			}
+		}
+	}
+	if lines != 1 {
+		t.Fatalf("exporter wrote %d lines, want 1 fragment line", lines)
+	}
+}

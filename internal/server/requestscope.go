@@ -4,6 +4,7 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,9 +68,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // ID (honoring a well-formed inbound X-Request-Id, generating one
 // otherwise), echoes it on the response, attaches a request-scoped
 // logger and the ID itself to the context (so core-level search logs
-// correlate), and — for /v1/* API requests — tracks the request in the
-// flight recorder's in-flight table and records it on completion,
-// emitting a slow-query warning when it clears the recorder threshold.
+// correlate), and — for /v1/* API requests — extracts any inbound W3C
+// traceparent, opens the server-side trace span (echoed as X-Trace-Id),
+// tracks the request in the flight recorder's in-flight table and
+// records it on completion, emitting a slow-query warning when it
+// clears the recorder threshold.
 func (s *Server) withRequestScope(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
@@ -86,7 +89,21 @@ func (s *Server) withRequestScope(next http.Handler) http.Handler {
 			return
 		}
 
-		rec := &obs.RequestRecord{ID: id, Endpoint: r.URL.Path, Start: time.Now()}
+		// Continue the caller's trace when it sent a well-formed
+		// traceparent; start a fresh one otherwise. The serve span is
+		// the local root: every queue/cache/search child span hangs off
+		// it, and its End flushes the fragment to the trace store.
+		if s.cfg.TraceStore != nil {
+			ctx = obs.ContextWithTraceStore(ctx, s.cfg.TraceStore)
+		}
+		if sc, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+			ctx = obs.ContextWithRemote(ctx, sc)
+		}
+		ctx, span := obs.StartSpan(ctx, "server "+r.URL.Path)
+		span.SetAttr("request_id", id)
+		w.Header().Set("X-Trace-Id", span.TraceID())
+
+		rec := &obs.RequestRecord{ID: id, TraceID: span.TraceID(), Endpoint: r.URL.Path, Start: time.Now()}
 		ctx = context.WithValue(ctx, ctxKeyRecord, rec)
 		endInflight := s.recorder.Begin(id, r.URL.Path, rec.Start)
 		sw := &statusWriter{ResponseWriter: w}
@@ -104,12 +121,19 @@ func (s *Server) withRequestScope(next http.Handler) http.Handler {
 					rec.Outcome = obs.OutcomeOK
 				}
 			}
+			span.SetAttr("outcome", rec.Outcome)
+			span.SetAttr("status", strconv.Itoa(sw.status))
+			if rec.Outcome == obs.OutcomeError {
+				span.SetError(rec.Error)
+			}
+			span.End()
 			s.recorder.Record(*rec)
 			if thr := s.recorder.SlowThreshold(); thr > 0 && rec.Duration >= thr {
 				logger.Warn("slow query",
 					"endpoint", rec.Endpoint, "dataset", rec.Dataset,
 					"algorithm", rec.Algorithm, "dur", rec.Duration,
-					"queue_wait", rec.QueueWait, "outcome", rec.Outcome)
+					"queue_wait", rec.QueueWait, "outcome", rec.Outcome,
+					"trace_id", rec.TraceID)
 			}
 		}()
 		next.ServeHTTP(sw, r.WithContext(ctx))

@@ -69,6 +69,11 @@ type Config struct {
 	// -slow-query-ms and installs it as the obs default so the
 	// -debug-addr surface serves the same data.
 	Recorder *obs.FlightRecorder
+	// TraceStore retains completed request traces (tail-sampled) for
+	// the /debug/traces endpoints. nil falls back to the process-wide
+	// obs.DefaultTraceStore, which stores nothing until installed —
+	// trace IDs still propagate either way.
+	TraceStore *obs.TraceStore
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +179,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Workers() int    { return s.cfg.Workers }
 func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
 
+// traceStore resolves the store serving /debug/traces: the configured
+// one, else the process default (resolved per request, mirroring the
+// DefaultRecorder pattern; may be nil).
+func (s *Server) traceStore() *obs.TraceStore {
+	if s.cfg.TraceStore != nil {
+		return s.cfg.TraceStore
+	}
+	return obs.DefaultTraceStore()
+}
+
 // Handler returns the server's route tree:
 //
 //	POST /v1/query             exact / greedy KTG search
@@ -186,11 +201,15 @@ func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
 //	GET  /debug/requests       flight recorder: recent completed requests
 //	GET  /debug/requests/slow  slow-query log (top-K by latency)
 //	GET  /debug/inflight       currently executing requests
+//	GET  /debug/traces         tail-sampled trace store listing
+//	GET  /debug/traces/{id}    one trace (JSON; ?format=waterfall for ASCII)
 //
 // Every request is assigned a request ID (inbound X-Request-Id honored
 // when well-formed, generated otherwise) that is echoed in the
 // X-Request-Id response header and stamped on every log line the
-// request produces.
+// request produces. /v1/* requests additionally join the caller's W3C
+// trace (traceparent header) or start their own; the trace ID is echoed
+// as X-Trace-Id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -211,6 +230,17 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /debug/requests", s.recorder.RecentHandler())
 	mux.Handle("GET /debug/requests/slow", s.recorder.SlowHandler())
 	mux.Handle("GET /debug/inflight", s.recorder.InflightHandler())
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		s.traceStore().HandleTraces(w, r)
+	})
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		ts := s.traceStore()
+		if ts == nil {
+			http.Error(w, "trace store disabled", http.StatusNotFound)
+			return
+		}
+		ts.HandleTraceByID(w, r)
+	})
 	// Request scoping sits outermost so the recovery layer's panic log
 	// already carries the request_id attribute.
 	return s.withRequestScope(s.withRecovery(mux))
@@ -317,10 +347,15 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 		return
 	}
 
+	span := obs.SpanFromContext(r.Context())
+	span.SetAttr("dataset", dsLabel)
+	span.SetAttr("algorithm", algLabel)
+
 	key := req.cacheKey(kind)
 	rec.ParamsDigest = key[:16]
 	if resp, ok := s.cache.lookup(key); ok {
 		mCacheHits.Inc()
+		span.Event("cache.hit", 0)
 		rec.Outcome, rec.Stats = obs.OutcomeCached, resp.Stats
 		s.writeResponse(w, resp, "hit")
 		return
@@ -336,10 +371,12 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 		// Joined an identical in-flight search (or a store that landed
 		// while we waited) — no search of our own ran.
 		mCacheShared.Inc()
+		span.Event("cache.shared", 0)
 		rec.Outcome, rec.Stats = obs.OutcomeCached, resp.Stats
 		s.writeResponse(w, resp, "shared")
 	case err == nil:
 		mCacheMisses.Inc()
+		span.Event("cache.miss", 0)
 		switch {
 		case resp.Degraded:
 			rec.Outcome = obs.OutcomeDegraded
@@ -395,12 +432,16 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		}
 	}()
 
+	admitStart := time.Now()
 	wait, err := s.adm.acquire(reqCtx)
 	if err != nil {
 		return nil, false, err
 	}
 	defer s.adm.release()
 	reqRec.QueueWait = wait
+	parentSpan := obs.SpanFromContext(reqCtx)
+	parentSpan.AddCompletedChild("queue.wait", admitStart, wait,
+		obs.Attr{Key: "wait_ns", Value: strconv.FormatInt(wait.Nanoseconds(), 10)})
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMillis > 0 {
@@ -411,6 +452,24 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 	}
 	ctx, cancel := context.WithTimeout(reqCtx, timeout)
 	defer cancel()
+
+	// The search child span wraps the whole core call; the core hangs
+	// its own compile/candidates/explore children off it via ctx.
+	ctx, searchSpan := obs.StartChild(ctx, "search."+kind)
+	defer func() {
+		if searchSpan == nil {
+			return
+		}
+		if err != nil {
+			searchSpan.SetError(err.Error())
+		}
+		if resp != nil {
+			searchSpan.SetAttr("algorithm", resp.Algorithm)
+			searchSpan.SetAttr("nodes", strconv.FormatInt(resp.Stats.Nodes, 10))
+			searchSpan.SetAttr("distance_checks", strconv.FormatInt(resp.Stats.DistanceChecks, 10))
+		}
+		searchSpan.End()
+	}()
 
 	// Graceful degradation: a long queue wait means the server is
 	// saturated — spending a full exact search per request now only
@@ -462,6 +521,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		resp.Algorithm = "greedy"
 		resp.Degraded = true
 		resp.DegradedReason = degradedReason
+		parentSpan.Event("degrade."+degradedReason, wait.Nanoseconds())
 		logger.Warn("degrading exact search to greedy",
 			"dataset", req.Dataset, "reason", degradedReason, "queue_wait", wait)
 	}

@@ -4,8 +4,10 @@
 // Retry-After must be waited out, not hammered, under one stable
 // request ID — then probes the real server: health, one KTG query
 // (cache miss) repeated as a cache hit, one DKTG query, and a
-// malformed request yielding a typed 400. It exits non-zero on the
-// first failed expectation.
+// malformed request yielding a typed 400, and finally that the first
+// query's trace is retrievable from /debug/traces/{id} with both the
+// server request span and a search child span. It exits non-zero on
+// the first failed expectation.
 package main
 
 import (
@@ -13,9 +15,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -87,7 +91,33 @@ func main() {
 		fail("invalid request: err = %v, want a structured *APIError with status 400", err)
 	}
 
+	checkTrace(*addr, first.TraceID)
+
 	fmt.Println("smokeclient: ok")
+}
+
+// checkTrace proves the end-to-end tracing contract: the query's
+// X-Trace-Id (surfaced as Response.TraceID) resolves in the server's
+// trace store and the stored trace holds both the server request span
+// and at least one search child span.
+func checkTrace(addr, traceID string) {
+	if traceID == "" {
+		fail("/v1/query response lacks a trace ID (X-Trace-Id header missing)")
+	}
+	res, err := http.Get("http://" + addr + "/debug/traces/" + traceID)
+	if err != nil {
+		fail("/debug/traces/%s: %v", traceID, err)
+	}
+	defer res.Body.Close()
+	body, _ := io.ReadAll(res.Body)
+	if res.StatusCode != http.StatusOK {
+		fail("/debug/traces/%s: status %d: %s", traceID, res.StatusCode, body)
+	}
+	for _, span := range []string{`"server /v1/query"`, `"search.`} {
+		if !strings.Contains(string(body), span) {
+			fail("/debug/traces/%s lacks a %s span: %s", traceID, span, body)
+		}
+	}
 }
 
 // selfCheckRetryAfter proves, against a local stub, that the client

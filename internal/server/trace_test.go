@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ktg/internal/obs"
+)
+
+// traceServer builds a test server wired to a private trace store.
+func traceServer(t *testing.T, cfg obs.TraceStoreConfig) (*Server, *obs.TraceStore) {
+	t.Helper()
+	traces := obs.NewTraceStore(cfg)
+	s := newTestServer(t, Config{TraceStore: traces})
+	return s, traces
+}
+
+func TestMiddlewareContinuesInboundTrace(t *testing.T) {
+	s, traces := traceServer(t, obs.TraceStoreConfig{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader(goodBody))
+	req.Header.Set("traceparent", tp)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if got := res.Header.Get("X-Trace-Id"); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("X-Trace-Id = %q, want the inbound trace continued", got)
+	}
+
+	tr := awaitTrace(t, traces, "4bf92f3577b34da6a3ce929d0e0e4736")
+	root := tr.Root()
+	if root == nil || root.Name != "server /v1/query" {
+		t.Fatalf("trace root = %+v", root)
+	}
+	if !root.RemoteParent || root.ParentID != "00f067aa0ba902b7" {
+		t.Fatalf("server span must be parented to the remote caller span: %+v", root)
+	}
+	var names []string
+	for _, sp := range tr.Spans {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"queue.wait", "search.query", "compile", "explore"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace lacks a %q span: %v", want, names)
+		}
+	}
+
+	// Satellite contract: the flight-recorder record carries the trace
+	// ID so /debug/requests deep-links into /debug/traces/{id}.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		found := false
+		for _, raw := range debugRecords(t, ts.URL+"/debug/requests")["records"].([]any) {
+			rec := raw.(map[string]any)
+			if rec["trace_id"] == "4bf92f3577b34da6a3ce929d0e0e4736" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/debug/requests never exposed the request's trace_id")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestQueryFloodCannotEvictFlaggedTraces is the end-to-end retention
+// check: with a tiny store, one failing request followed by hundreds of
+// fast healthy queries must still leave the error trace retrievable.
+func TestQueryFloodCannotEvictFlaggedTraces(t *testing.T) {
+	s, traces := traceServer(t, obs.TraceStoreConfig{KeptCapacity: 8, SampledCapacity: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, error) {
+		return http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	}
+
+	res, err := post(`{"dataset":"nope","keywords":["SN"],"group_size":3,"tenuity":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad query status = %d, want 404", res.StatusCode)
+	}
+	errTrace := res.Header.Get("X-Trace-Id")
+	if errTrace == "" {
+		t.Fatal("error response lacks X-Trace-Id")
+	}
+	awaitTrace(t, traces, errTrace)
+
+	for i := 0; i < 300; i++ {
+		res, err := post(fmt.Sprintf(
+			`{"dataset":"reviewers","keywords":["SN","DQ"],"group_size":3,"tenuity":1,"top_n":%d}`, 1+i%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("flood query %d status = %d", i, res.StatusCode)
+		}
+	}
+
+	tr := traces.Get(errTrace)
+	if tr == nil {
+		t.Fatalf("error trace %s evicted by 300 healthy queries", errTrace)
+	}
+	if !tr.Kept || len(tr.Why) == 0 {
+		t.Fatalf("error trace stored unprotected: %+v", tr)
+	}
+	if n := traces.Len(); n > 12 {
+		t.Fatalf("store grew to %d traces, want <= 12 (bounded)", n)
+	}
+
+	// The trace survives AND is servable.
+	res, err = http.Get(ts.URL + "/debug/traces/" + errTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s = %d", errTrace, res.StatusCode)
+	}
+}
+
+// awaitTrace polls until the store holds id (the fragment flushes in
+// the middleware defer, which can trail the client's response read).
+func awaitTrace(t *testing.T, store *obs.TraceStore, id string) *obs.StoredTrace {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if tr := store.Get(id); tr != nil {
+			return tr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never reached the store", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -102,4 +102,22 @@ grep -qi "chaos injection enabled" "$tmp/chaos.log"
     -queries 25 -concurrency 4 -seed 42 -hedge-delay 25ms
 stop_server
 
+# --- distributed-tracing smoke ---------------------------------------
+# One workload through the resilient client, both sides exporting
+# traces. The client's export must hold call + attempt spans, the
+# server's must hold request + search spans, and at least one trace ID
+# must appear in BOTH files — the traceparent hop stitched them.
+# (smokeclient above already asserts the live /debug/traces/{id} path.)
+boot_server "$tmp/trace.log" -trace-export "$tmp/server-traces.jsonl"
+"$tmp/ktgload" -addr "$addr" -preset brightkite -scale 0.02 \
+    -queries 3 -concurrency 1 -seed 42 -trace-export "$tmp/client-traces.jsonl"
+stop_server
+grep -q '"name":"client /v1/query"' "$tmp/client-traces.jsonl"
+grep -q '"name":"client.attempt"' "$tmp/client-traces.jsonl"
+grep -q '"name":"server /v1/query"' "$tmp/server-traces.jsonl"
+grep -q '"name":"search.query"' "$tmp/server-traces.jsonl"
+tid=$(sed -n 's/.*"traceId":"\([0-9a-f]\{32\}\)".*/\1/p' "$tmp/client-traces.jsonl" | head -n 1)
+[ -n "$tid" ]
+grep -q "$tid" "$tmp/server-traces.jsonl"
+
 echo "verify: ok"
