@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-point progress on stderr")
 		csvPath = flag.String("csv", "", "also append measurement rows to this CSV file")
 		jsonDir = flag.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
+		force   = flag.Bool("force", false, "overwrite BENCH_<exp>.json baselines even when their dataset fingerprint differs")
 		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
@@ -99,6 +101,18 @@ func main() {
 				os.Exit(1)
 			}
 			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			// A baseline measured on different data is not comparable to
+			// this run: silently replacing it would make every future
+			// perf diff lie. Refuse unless -force says the swap is meant.
+			if prev, err := readBaseline(path); err == nil && prev.Fingerprint != "" {
+				now := expr.DatasetFingerprint(env, rep)
+				if prev.Fingerprint != now && !*force {
+					fmt.Fprintf(os.Stderr,
+						"ktgbench: %s holds a baseline for different data:\n  baseline %s\n  this run %s\nrerun with -force to replace it\n",
+						path, prev.Fingerprint, now)
+					os.Exit(1)
+				}
+			}
 			f, err := os.Create(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ktgbench: creating %s: %v\n", path, err)
@@ -120,4 +134,17 @@ func main() {
 	}
 	e, _ := expr.Find(*exp)
 	run(e)
+}
+
+// readBaseline loads an existing BENCH_*.json, if any.
+func readBaseline(path string) (*expr.BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep expr.BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
 }

@@ -1,0 +1,194 @@
+// Command ktgcoord is the scatter-gather coordinator for a fleet of
+// ktgserver shard workers. It serves the same /v1 surface as a single
+// ktgserver — clients need no changes — but answers exact queries by
+// partitioning the branch-and-bound candidate frontier across the
+// fleet (POST /v1/query/partial, slice i of N per shard), gathering the
+// partial answers through resilient per-shard clients (retries with
+// backoff and Retry-After, per-shard circuit breakers, optional
+// hedging), and merging the shard offer streams deterministically so a
+// complete partition reproduces the single-node answer exactly.
+//
+//	POST /v1/query             scatter-gather KTG search (greedy/brute forwarded whole)
+//	POST /v1/diverse           DKTG diverse search, forwarded with failover
+//	GET  /v1/datasets          forwarded from the first answering shard
+//	GET  /v1/shards            per-shard health, breaker state, client stats
+//	POST /v1/cache/invalidate  fanned out to every shard
+//	GET  /healthz, /readyz     liveness / readiness
+//	GET  /metrics              ktg_coord_* and ktg_client_* on the shared registry
+//	GET  /debug/requests[...]  coordinator flight recorder
+//	GET  /debug/traces[/{id}]  tail-sampled traces spanning coordinator and shards
+//
+// Degradation is explicit: when shards die mid-query the coordinator
+// answers 200 with the merged best-effort groups flagged
+// "partial": true and "shards_failed" ≥ 1; only a fleet-wide failure
+// returns an error (503 all_shards_failed). It never silently serves a
+// wrong-looking-complete answer.
+//
+// Tracing spans the fleet: each request's coordinator span propagates
+// its W3C traceparent into every shard call, so /debug/traces on the
+// coordinator and the shards tell one story under one trace ID.
+//
+// Example:
+//
+//	ktgcoord -addr :8090 -shards http://10.0.0.1:8080,http://10.0.0.2:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ktg"
+	"ktg/internal/client"
+	"ktg/internal/cliutil"
+	"ktg/internal/obs"
+	"ktg/internal/shard"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8090", "HTTP listen address (host:0 picks a free port)")
+		shards         = flag.String("shards", "", "comma-separated shard base URLs, e.g. http://10.0.0.1:8080,http://10.0.0.2:8080 (required)")
+		timeout        = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout     = flag.Duration("max-timeout", 2*time.Minute, "ceiling on client-requested timeouts")
+		attempts       = flag.Int("shard-attempts", 3, "HTTP attempts per shard call (retries included)")
+		attemptTimeout = flag.Duration("shard-attempt-timeout", 10*time.Second, "per-attempt timeout for shard calls")
+		hedgeDelay     = flag.Duration("shard-hedge", 0, "launch a hedged second attempt for shard calls slower than this (0 disables)")
+		backoffBase    = flag.Duration("shard-backoff", 50*time.Millisecond, "base backoff between shard-call retries")
+		drainGrace     = flag.Duration("drain-grace", time.Second, "how long to keep serving after the readiness flip before the listener closes")
+		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight scatters")
+		verbose        = flag.Bool("v", false, "debug-level structured logging")
+		debugAddr      = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this extra address")
+		slowQueryMS    = flag.Int("slow-query-ms", 250, "latency (ms) at or above which a request enters the slow-query log (negative disables)")
+		recorderSize   = flag.Int("flight-recorder", 256, "completed requests retained by /debug/requests (negative disables)")
+		traceStore     = flag.Int("trace-store", 256, "traces retained per tail-sampler tier on /debug/traces (negative disables)")
+		traceSample    = flag.Float64("trace-sample", 1.0, "probability of storing an unflagged trace (0 keeps flagged traces only)")
+		traceExport    = flag.String("trace-export", "", "append stored trace fragments to this file as OTLP/JSON lines")
+	)
+	flag.Parse()
+
+	var shardURLs []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			shardURLs = append(shardURLs, u)
+		}
+	}
+	if len(shardURLs) == 0 {
+		cliutil.BadUsage("ktgcoord", "-shards must list at least one shard base URL")
+	}
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewTextLogger(os.Stderr, level)
+
+	recorder := obs.NewFlightRecorder(*recorderSize, 0,
+		time.Duration(*slowQueryMS)*time.Millisecond, 0)
+	obs.SetDefaultRecorder(recorder)
+
+	var traces *obs.TraceStore
+	if *traceStore >= 0 {
+		rate := *traceSample
+		if rate == 0 {
+			rate = -1
+		}
+		traces = obs.NewTraceStore(obs.TraceStoreConfig{
+			KeptCapacity:    *traceStore,
+			SampledCapacity: *traceStore,
+			SampleRate:      rate,
+			SlowThreshold:   recorder.SlowThreshold(),
+		})
+		if *traceExport != "" {
+			exp, err := obs.NewTraceExporter(*traceExport, "ktgcoord")
+			if err != nil {
+				fatal(logger, err)
+			}
+			defer exp.Close()
+			traces.SetExporter(exp)
+			logger.Info("trace export enabled", "path", *traceExport)
+		}
+		obs.SetDefaultTraceStore(traces)
+	}
+
+	if *debugAddr != "" {
+		dbg, _, err := ktg.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("debug server listening", "addr", dbg,
+			"endpoints", "/metrics /debug/vars /debug/pprof/")
+	}
+
+	co, err := shard.New(shard.Config{
+		Shards: shardURLs,
+		Client: client.Config{
+			MaxAttempts:    *attempts,
+			AttemptTimeout: *attemptTimeout,
+			BackoffBase:    *backoffBase,
+			HedgeDelay:     *hedgeDelay,
+			Logger:         logger,
+		},
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
+		Recorder:       recorder,
+		TraceStore:     traces,
+	})
+	if err != nil {
+		fatal(logger, err)
+	}
+
+	baseCtx, forceCancel := context.WithCancel(context.Background())
+	defer forceCancel()
+	httpSrv := &http.Server{
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(logger, err)
+	}
+	logger.Info("ktgcoord listening", "addr", ln.Addr().String(),
+		"shards", strings.Join(co.Shards(), ","))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(logger, err)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutdown signal received; draining", "grace", *drainGrace, "timeout", *drainTimeout)
+	co.Drain()
+	time.Sleep(*drainGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logger.Warn("drain budget exceeded; force-cancelling in-flight scatters", "err", err)
+		forceCancel()
+		shCtx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := httpSrv.Shutdown(shCtx2); err != nil {
+			_ = httpSrv.Close()
+		}
+	}
+	logger.Info("ktgcoord stopped")
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("ktgcoord failed", "err", err)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,6 +61,7 @@ func main() {
 		hedgeDelay  = flag.Duration("hedge-delay", 0, "launch a hedged second attempt after this delay (0 = off)")
 		verbose     = flag.Bool("v", false, "log every query result")
 		traceExport = flag.String("trace-export", "", "append the client-side trace of every query (attempts, hedges, retries) to this file as OTLP/JSON lines")
+		compareAddr = flag.String("compare-addr", "", "also run every query against this second endpoint and require identical groups (scatter-gather verification)")
 	)
 	flag.Parse()
 	cliutil.MustScale("ktgload", *scale)
@@ -70,13 +72,7 @@ func main() {
 		*topN = workload.DefaultParams.N
 	}
 
-	base := *addr
-	if !strings.Contains(base, "://") {
-		if strings.HasPrefix(base, ":") {
-			base = "127.0.0.1" + base
-		}
-		base = "http://" + base
-	}
+	base := normalizeBase(*addr)
 
 	kwSets, err := buildWorkload(*replayPath, *preset, *scale, *seed, *queries, *kwCount)
 	if err != nil {
@@ -101,6 +97,27 @@ func main() {
 	}
 	waitHealthy(cl)
 
+	// -compare-addr runs every query against a second endpoint (e.g. a
+	// scatter-gather coordinator vs a direct single shard) and requires
+	// the answers' groups to be identical. This is the verify.sh proof
+	// that the distributed path reproduces the single-node path.
+	var cmpCl *client.Client
+	if *compareAddr != "" {
+		cmpCl, err = client.New(client.Config{
+			BaseURL:        normalizeBase(*compareAddr),
+			MaxAttempts:    *maxAttempts,
+			AttemptTimeout: *attemptTO,
+			HedgeDelay:     *hedgeDelay,
+			RetryBudget:    -1,
+			Seed:           *seed + 1,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ktgload: %v\n", err)
+			os.Exit(1)
+		}
+		waitHealthy(cmpCl)
+	}
+
 	// Every logical query runs under its own root span so lost queries
 	// are attributable by trace ID even when no attempt ever answered;
 	// with -trace-export the client-side fragments (call span + attempt
@@ -120,11 +137,12 @@ func main() {
 	}
 
 	type result struct {
-		idx     int
-		latency time.Duration
-		resp    *client.Response
-		traceID string
-		err     error
+		idx      int
+		latency  time.Duration
+		resp     *client.Response
+		traceID  string
+		err      error
+		mismatch string
 	}
 	var (
 		wg      sync.WaitGroup
@@ -155,6 +173,9 @@ func main() {
 				}
 				qspan.End()
 				r := result{idx: i, latency: time.Since(t0), resp: resp, traceID: qspan.TraceID(), err: err}
+				if cmpCl != nil && err == nil {
+					r.mismatch = compareAnswers(qctx, cmpCl, req, *diverse, *patience, resp)
+				}
 				mu.Lock()
 				results[i] = r
 				mu.Unlock()
@@ -177,7 +198,7 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	lost, malformed := 0, 0
+	lost, malformed, mismatched := 0, 0, 0
 	latencies := make([]time.Duration, 0, len(results))
 	for i, r := range results {
 		if r.err != nil {
@@ -191,17 +212,63 @@ func main() {
 			malformed++
 			fmt.Fprintf(os.Stderr, "ktgload: MALFORMED answer to query %d: %s\n", i, msg)
 		}
+		if r.mismatch != "" {
+			mismatched++
+			fmt.Fprintf(os.Stderr, "ktgload: MISMATCH on query %d vs %s: %s\n", i, *compareAddr, r.mismatch)
+		}
 	}
 
 	report(os.Stdout, elapsed, latencies, cl.Stats(), lost, malformed, len(kwSets))
+	if cmpCl != nil {
+		fmt.Fprintf(os.Stdout, "  compare  endpoint=%s mismatches=%d\n", cmpCl.Target(), mismatched)
+	}
 	// Explicit close (not deferred): the os.Exit below would skip defers
 	// and could truncate the final export line.
 	if exporter != nil {
 		_ = exporter.Close()
 	}
-	if lost > 0 || malformed > 0 {
+	if lost > 0 || malformed > 0 || mismatched > 0 {
 		os.Exit(1)
 	}
+}
+
+// normalizeBase turns a host:port or :port address into a base URL.
+func normalizeBase(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// compareAnswers re-runs the query against the comparison endpoint and
+// returns a description of any semantic difference in the answers.
+// Groups are compared as canonical JSON: members, covered keywords and
+// scores must all agree, which is exactly the coordinator's exactness
+// contract. Partiality must agree too — a partial answer on one side
+// only is a silent-degradation bug, not a tie.
+func compareAnswers(ctx context.Context, cl *client.Client, req *client.Request, diverse bool, patience time.Duration, want *client.Response) string {
+	got, err := runWithPatience(ctx, cl, req, diverse, patience)
+	if err != nil {
+		return fmt.Sprintf("comparison endpoint lost the query: %v", err)
+	}
+	if want.Partial != got.Partial {
+		return fmt.Sprintf("partial flag differs: %v vs %v", want.Partial, got.Partial)
+	}
+	wantJSON, err := json.Marshal(want.Groups)
+	if err != nil {
+		return err.Error()
+	}
+	gotJSON, err := json.Marshal(got.Groups)
+	if err != nil {
+		return err.Error()
+	}
+	if string(wantJSON) != string(gotJSON) {
+		return fmt.Sprintf("groups differ:\n  primary %s\n  compare %s", wantJSON, gotJSON)
+	}
+	return ""
 }
 
 // buildWorkload produces the query keyword-name sets: replayed from a

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ktg"
 	"ktg/internal/obs"
 )
 
@@ -95,8 +96,8 @@ func (e *APIError) retryable() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status >= 500
 }
 
-// Request is the JSON body of POST /v1/query and POST /v1/diverse,
-// mirroring the server's wire format.
+// Request is the JSON body of POST /v1/query, /v1/diverse, and
+// /v1/query/partial, mirroring the server's wire format.
 type Request struct {
 	Dataset       string   `json:"dataset"`
 	Keywords      []string `json:"keywords"`
@@ -108,6 +109,10 @@ type Request struct {
 	Seeds         int      `json:"seeds,omitempty"`
 	TimeoutMillis int64    `json:"timeout_ms,omitempty"`
 	MaxNodes      int64    `json:"max_nodes,omitempty"`
+	// SliceIndex/SliceCount select the frontier slice for QueryPartial;
+	// the server rejects them on the other endpoints.
+	SliceIndex int `json:"slice_index,omitempty"`
+	SliceCount int `json:"slice_count,omitempty"`
 }
 
 // Group is one result group on the wire.
@@ -121,17 +126,18 @@ type Group struct {
 // server's under-pressure compromises — callers that need the exact
 // answer should check them rather than assume.
 type Response struct {
-	Dataset        string   `json:"dataset"`
-	Algorithm      string   `json:"algorithm"`
-	Groups         []Group  `json:"groups"`
-	Diversity      *float64 `json:"diversity,omitempty"`
-	MinQKC         *float64 `json:"min_qkc,omitempty"`
-	Score          *float64 `json:"score,omitempty"`
-	Partial        bool     `json:"partial,omitempty"`
-	PartialReason  string   `json:"partial_reason,omitempty"`
-	Degraded       bool     `json:"degraded,omitempty"`
-	DegradedReason string   `json:"degraded_reason,omitempty"`
-	Cache          string   `json:"cache"`
+	Dataset        string          `json:"dataset"`
+	Algorithm      string          `json:"algorithm"`
+	Groups         []Group         `json:"groups"`
+	Diversity      *float64        `json:"diversity,omitempty"`
+	MinQKC         *float64        `json:"min_qkc,omitempty"`
+	Score          *float64        `json:"score,omitempty"`
+	Partial        bool            `json:"partial,omitempty"`
+	PartialReason  string          `json:"partial_reason,omitempty"`
+	Degraded       bool            `json:"degraded,omitempty"`
+	DegradedReason string          `json:"degraded_reason,omitempty"`
+	Stats          ktg.SearchStats `json:"stats"`
+	Cache          string          `json:"cache"`
 
 	// RequestID echoes the X-Request-Id the winning attempt carried
 	// (stable across every attempt of this call). TraceID is the W3C
@@ -144,6 +150,24 @@ type Response struct {
 	TraceID   string `json:"-"`
 	Attempts  int    `json:"-"`
 	Hedged    bool   `json:"-"`
+}
+
+// wireBody is implemented by every response type the retry pipeline can
+// decode (Response, PartialResponse), so do/attempt/roundTrip run one
+// shared breaker/backoff/hedging pipeline for all endpoints.
+type wireBody interface {
+	// setCallMeta fills the client-side metadata after the winning attempt.
+	setCallMeta(reqID, traceID string, attempts int, hedged bool)
+	// outcomeFlags reports the degraded/partial markers for counting.
+	outcomeFlags() (degraded, partial bool)
+}
+
+func (r *Response) setCallMeta(reqID, traceID string, attempts int, hedged bool) {
+	r.RequestID, r.TraceID, r.Attempts, r.Hedged = reqID, traceID, attempts, hedged
+}
+
+func (r *Response) outcomeFlags() (degraded, partial bool) {
+	return r.Degraded, r.Partial
 }
 
 // Config tunes a Client. The zero value is usable: New applies the
@@ -242,6 +266,103 @@ type statsCells struct {
 	budgetExhausted, degraded, partial                atomic.Int64
 }
 
+func statsFrom(cells *statsCells) Stats {
+	return Stats{
+		Calls:             cells.calls.Load(),
+		Errors:            cells.errs.Load(),
+		Attempts:          cells.attempts.Load(),
+		Retries:           cells.retries.Load(),
+		Hedges:            cells.hedges.Load(),
+		HedgeWins:         cells.hedgeWins.Load(),
+		BreakerTrips:      cells.breakerTrips.Load(),
+		BreakerRejects:    cells.breakerRejects.Load(),
+		RetryAfterHonored: cells.retryAfterHonored.Load(),
+		BudgetExhausted:   cells.budgetExhausted.Load(),
+		Degraded:          cells.degraded.Load(),
+		Partial:           cells.partial.Load(),
+	}
+}
+
+// pairCounter increments two cells at once — this client's private cell
+// and the process-wide per-target cell shared by every client of the
+// same base URL — while reads stay scoped to the instance.
+type pairCounter struct {
+	own, target *atomic.Int64
+}
+
+func (p pairCounter) Add(n int64) {
+	p.own.Add(n)
+	p.target.Add(n)
+}
+
+type statsPairs struct {
+	calls, errs, attempts, retries, hedges, hedgeWins pairCounter
+	breakerTrips, breakerRejects, retryAfterHonored   pairCounter
+	budgetExhausted, degraded, partial                pairCounter
+}
+
+func pairStats(own, target *statsCells) statsPairs {
+	return statsPairs{
+		calls:             pairCounter{&own.calls, &target.calls},
+		errs:              pairCounter{&own.errs, &target.errs},
+		attempts:          pairCounter{&own.attempts, &target.attempts},
+		retries:           pairCounter{&own.retries, &target.retries},
+		hedges:            pairCounter{&own.hedges, &target.hedges},
+		hedgeWins:         pairCounter{&own.hedgeWins, &target.hedgeWins},
+		breakerTrips:      pairCounter{&own.breakerTrips, &target.breakerTrips},
+		breakerRejects:    pairCounter{&own.breakerRejects, &target.breakerRejects},
+		retryAfterHonored: pairCounter{&own.retryAfterHonored, &target.retryAfterHonored},
+		budgetExhausted:   pairCounter{&own.budgetExhausted, &target.budgetExhausted},
+		degraded:          pairCounter{&own.degraded, &target.degraded},
+		partial:           pairCounter{&own.partial, &target.partial},
+	}
+}
+
+// targetCells aggregates counters across every Client ever built for a
+// base URL, so a process talking to N shards through short-lived or
+// multiple clients can still ask "how is shard X doing" in one place.
+// The registry pins only the counter cells (~100 bytes per target).
+var (
+	targetsMu   sync.Mutex
+	targetCells = make(map[string]*statsCells)
+)
+
+func cellsForTarget(base string) *statsCells {
+	targetsMu.Lock()
+	defer targetsMu.Unlock()
+	cells, ok := targetCells[base]
+	if !ok {
+		cells = &statsCells{}
+		targetCells[base] = cells
+	}
+	return cells
+}
+
+// PerTargetStats snapshots the cumulative counters of every target this
+// process has built a Client for, keyed by normalized base URL and
+// aggregated across all client instances of that target.
+func PerTargetStats() map[string]Stats {
+	targetsMu.Lock()
+	defer targetsMu.Unlock()
+	out := make(map[string]Stats, len(targetCells))
+	for base, cells := range targetCells {
+		out[base] = statsFrom(cells)
+	}
+	return out
+}
+
+// TargetStats reports the aggregated counters for one base URL (false
+// when no Client was ever built for it).
+func TargetStats(base string) (Stats, bool) {
+	targetsMu.Lock()
+	defer targetsMu.Unlock()
+	cells, ok := targetCells[strings.TrimRight(base, "/")]
+	if !ok {
+		return Stats{}, false
+	}
+	return statsFrom(cells), true
+}
+
 // Client is a resilient KTG query-service client. It is safe for
 // concurrent use; the breaker and retry budget are shared across all
 // calls on the same instance (that sharing is the point: one bad
@@ -257,7 +378,8 @@ type Client struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	st statsCells
+	own *statsCells // this instance's counters (Stats reads these)
+	st  statsPairs  // increment fan-out: instance + per-target cells
 }
 
 // New builds a Client for the given base URL ("http://host:port").
@@ -273,7 +395,9 @@ func New(cfg Config) (*Client, error) {
 		budget: newRetryBudget(cfg.RetryBudget, cfg.RetryRefill),
 		logger: cfg.Logger,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		own:    &statsCells{},
 	}
+	c.st = pairStats(c.own, cellsForTarget(c.base))
 	c.br = newBreaker(cfg.Breaker, func() {
 		mBreakerTrips.Inc()
 		c.st.breakerTrips.Add(1)
@@ -286,31 +410,32 @@ func New(cfg Config) (*Client, error) {
 
 // Stats returns a snapshot of this client's counters.
 func (c *Client) Stats() Stats {
-	return Stats{
-		Calls:             c.st.calls.Load(),
-		Errors:            c.st.errs.Load(),
-		Attempts:          c.st.attempts.Load(),
-		Retries:           c.st.retries.Load(),
-		Hedges:            c.st.hedges.Load(),
-		HedgeWins:         c.st.hedgeWins.Load(),
-		BreakerTrips:      c.st.breakerTrips.Load(),
-		BreakerRejects:    c.st.breakerRejects.Load(),
-		RetryAfterHonored: c.st.retryAfterHonored.Load(),
-		BudgetExhausted:   c.st.budgetExhausted.Load(),
-		Degraded:          c.st.degraded.Load(),
-		Partial:           c.st.partial.Load(),
-	}
+	return statsFrom(c.own)
+}
+
+// Target returns the normalized base URL this client talks to (the key
+// its counters aggregate under in PerTargetStats).
+func (c *Client) Target() string {
+	return c.base
 }
 
 // Query runs one KTG search (POST /v1/query) with the full retry
 // pipeline.
 func (c *Client) Query(ctx context.Context, req *Request) (*Response, error) {
-	return c.do(ctx, "/v1/query", req)
+	out, err := c.do(ctx, "/v1/query", req, func() wireBody { return new(Response) })
+	if err != nil {
+		return nil, err
+	}
+	return out.(*Response), nil
 }
 
 // Diverse runs one DKTG diverse search (POST /v1/diverse).
 func (c *Client) Diverse(ctx context.Context, req *Request) (*Response, error) {
-	return c.do(ctx, "/v1/diverse", req)
+	out, err := c.do(ctx, "/v1/diverse", req, func() wireBody { return new(Response) })
+	if err != nil {
+		return nil, err
+	}
+	return out.(*Response), nil
 }
 
 // Health probes GET /healthz once (no retries — callers poll it).
@@ -336,7 +461,7 @@ func (c *Client) Health(ctx context.Context) error {
 // do is the shared logical-call pipeline: breaker gate → attempt loop
 // with per-attempt timeout and optional hedging → classify → backoff /
 // Retry-After pacing → typed error or response.
-func (c *Client) do(ctx context.Context, path string, req *Request) (resp *Response, err error) {
+func (c *Client) do(ctx context.Context, path string, req *Request, newBody func() wireBody) (resp wireBody, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
@@ -377,19 +502,17 @@ func (c *Client) do(ctx context.Context, path string, req *Request) (resp *Respo
 			return nil, c.fail(err)
 		}
 		attempts++
-		resp, hedged, aerr := c.attempt(ctx, path, body, reqID)
+		resp, hedged, aerr := c.attempt(ctx, path, body, reqID, newBody)
 		c.br.record(breakerSuccess(aerr), probe, time.Now())
 		if aerr == nil {
 			c.budget.credit()
-			resp.RequestID = reqID
-			resp.TraceID = callSpan.TraceID()
-			resp.Attempts = attempts
-			resp.Hedged = hedged
-			if resp.Degraded {
+			resp.setCallMeta(reqID, callSpan.TraceID(), attempts, hedged)
+			degraded, partial := resp.outcomeFlags()
+			if degraded {
 				mDegraded.Inc()
 				c.st.degraded.Add(1)
 			}
-			if resp.Partial {
+			if partial {
 				mPartial.Inc()
 				c.st.partial.Add(1)
 			}
@@ -470,22 +593,22 @@ func retryableError(err error) bool {
 
 // attempt performs one bounded attempt, hedged when configured. The
 // bool result reports whether a hedge produced the answer.
-func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID string) (*Response, bool, error) {
+func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID string, newBody func() wireBody) (wireBody, bool, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	if c.cfg.HedgeDelay <= 0 {
-		resp, err := c.roundTrip(actx, path, body, reqID, false)
+		resp, err := c.roundTrip(actx, path, body, reqID, false, newBody)
 		return resp, false, err
 	}
 
 	type outcome struct {
-		resp  *Response
+		resp  wireBody
 		err   error
 		hedge bool
 	}
 	ch := make(chan outcome, 2) // buffered: the losing goroutine must not block
 	run := func(hedge bool) {
-		resp, err := c.roundTrip(actx, path, body, reqID, hedge)
+		resp, err := c.roundTrip(actx, path, body, reqID, hedge, newBody)
 		ch <- outcome{resp, err, hedge}
 	}
 	go run(false)
@@ -528,7 +651,7 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID st
 // child span under the call span (retries and the hedge leg show up as
 // siblings), and injects that span's identity via the W3C traceparent
 // header so the server's spans join the same trace.
-func (c *Client) roundTrip(ctx context.Context, path string, body []byte, reqID string, hedge bool) (_ *Response, err error) {
+func (c *Client) roundTrip(ctx context.Context, path string, body []byte, reqID string, hedge bool, newBody func() wireBody) (_ wireBody, err error) {
 	mAttempts.Inc()
 	c.st.attempts.Add(1)
 	ctx, span := obs.StartChild(ctx, "client.attempt")
@@ -565,11 +688,11 @@ func (c *Client) roundTrip(ctx context.Context, path string, body []byte, reqID 
 	if hres.StatusCode != http.StatusOK {
 		return nil, apiErrorFrom(hres, raw)
 	}
-	var out Response
-	if err := json.Unmarshal(raw, &out); err != nil {
+	out := newBody()
+	if err := json.Unmarshal(raw, out); err != nil {
 		return nil, fmt.Errorf("client: %s: malformed response body (truncated?): %w", path, err)
 	}
-	return &out, nil
+	return out, nil
 }
 
 // maxResponseBytes bounds response bodies the client will buffer.

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ktg/internal/gen"
+	"ktg/internal/graph"
+	"ktg/internal/keywords"
+	"ktg/internal/workload"
+)
+
+// searchPartitioned runs SearchPartial for every slice of a count-way
+// partition concurrently (so -race covers parallel shard execution) and
+// returns the parts in slice order.
+func searchPartitioned(t *testing.T, g graph.Topology, attrs *keywords.Attributes, q Query, opts Options, count int) []*PartialResult {
+	t.Helper()
+	parts := make([]*PartialResult, count)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = SearchPartial(g, attrs, q, opts, CandidateSlice{Index: i, Count: count})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("SearchPartial slice %d/%d: %v", i, count, err)
+		}
+	}
+	return parts
+}
+
+// requireIdentical asserts two results are byte-identical: same groups,
+// same members, same order (which pins down tie-breaking too).
+func requireIdentical(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if got.QueryWidth != want.QueryWidth {
+		t.Fatalf("%s: query width %d, want %d", label, got.QueryWidth, want.QueryWidth)
+	}
+	if !reflect.DeepEqual(want.Groups, got.Groups) {
+		t.Fatalf("%s: merged groups differ\nwant %+v\ngot  %+v", label, want.Groups, got.Groups)
+	}
+}
+
+// permutations of n part indices, enough for n ≤ 3.
+func permutations(n int) [][]int {
+	switch n {
+	case 2:
+		return [][]int{{0, 1}, {1, 0}}
+	case 3:
+		return [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}}
+	default:
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return [][]int{idx}
+	}
+}
+
+// TestQuickMergePartialsMatchesSearch is the distributed-correctness
+// property: for every 2- and 3-way strided partition of the frontier,
+// under every ordering, merging the shard results in any order is
+// byte-identical to single-node Search — including tie-breaking order.
+func TestQuickMergePartialsMatchesSearch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, attrs, q := randomInstance(r)
+		for _, ord := range []Ordering{OrderQKC, OrderVKC, OrderVKCDegree} {
+			opts := Options{Ordering: ord, UncappedPruneBound: seed%2 == 0}
+			want, err := Search(g, attrs, q, opts)
+			if err != nil {
+				return false
+			}
+			for _, count := range []int{2, 3} {
+				parts := searchPartitioned(t, g, attrs, q, opts, count)
+				for _, perm := range permutations(count) {
+					shuffled := make([]*PartialResult, 0, count)
+					for _, i := range perm {
+						shuffled = append(shuffled, parts[i])
+					}
+					got, exact, err := MergePartials(q.N, shuffled)
+					if err != nil {
+						return false
+					}
+					if !exact {
+						return false
+					}
+					if got.QueryWidth != want.QueryWidth ||
+						!reflect.DeepEqual(want.Groups, got.Groups) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergePartialsTieBreaking stresses first-found tie-breaking: one
+// broadly-held keyword makes every feasible group coverage-1, so which
+// groups survive the heap is decided purely by discovery order.
+func TestMergePartialsTieBreaking(t *testing.T) {
+	const n = 24
+	b := graph.NewBuilder(n)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.15 {
+				b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	g := b.Build()
+	attrs := keywords.NewAttributes(n, nil)
+	for v := 0; v < n; v++ {
+		attrs.AssignIDs(graph.Vertex(v), keywords.ID(0))
+	}
+	q := Query{Keywords: []keywords.ID{0}, P: 3, K: 1, N: 4}
+	for _, ord := range []Ordering{OrderQKC, OrderVKC, OrderVKCDegree} {
+		opts := Options{Ordering: ord}
+		want, err := Search(g, attrs, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Groups) == 0 {
+			t.Fatal("tie fixture found no groups; graph too dense")
+		}
+		for _, count := range []int{2, 3, 4} {
+			parts := searchPartitioned(t, g, attrs, q, opts, count)
+			got, exact, err := MergePartials(q.N, parts)
+			if err != nil {
+				t.Fatalf("%v count=%d: %v", ord, count, err)
+			}
+			if !exact {
+				t.Fatalf("%v count=%d: merge not exact", ord, count)
+			}
+			requireIdentical(t, want, got, ord.String())
+		}
+	}
+}
+
+// TestMergePartialsOnPreset runs the property against small scales of a
+// committed generator preset, with realistic keyword skew and a real
+// workload-generator query mix.
+func TestMergePartialsOnPreset(t *testing.T) {
+	for _, scale := range []float64{0.002, 0.004} {
+		ds, err := gen.GeneratePreset("brightkite", scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := workload.NewGenerator(ds, 3)
+		for qi := 0; qi < 4; qi++ {
+			q := Query{Keywords: wl.QueryKeywords(3), P: 3, K: 2, N: 3}
+			opts := Options{Ordering: OrderVKCDegree}
+			want, err := Search(ds.Graph, ds.Attrs, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, count := range []int{2, 3} {
+				parts := searchPartitioned(t, ds.Graph, ds.Attrs, q, opts, count)
+				got, exact, err := MergePartials(q.N, parts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !exact {
+					t.Fatal("merge not exact over a full partition")
+				}
+				requireIdentical(t, want, got, ds.Name)
+			}
+		}
+	}
+}
+
+// TestMergePartialsIncomplete drops one slice: the merge must still
+// succeed with valid (feasible, correctly-scored) groups but report
+// exact=false so callers surface the partial answer.
+func TestMergePartialsIncomplete(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	g, attrs, q := randomInstance(r)
+	opts := Options{Ordering: OrderVKCDegree}
+	parts := searchPartitioned(t, g, attrs, q, opts, 3)
+	got, exact, err := MergePartials(q.N, parts[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Fatal("merge over 2 of 3 slices claimed exactness")
+	}
+	if !validGroups(g, attrs, q, got) {
+		t.Fatal("incomplete merge returned an infeasible or mis-scored group")
+	}
+}
+
+// TestMergePartialsTruncated: a part that hit its node budget poisons
+// exactness even when the partition is complete.
+func TestMergePartialsTruncated(t *testing.T) {
+	ds, err := gen.GeneratePreset("brightkite", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.NewGenerator(ds, 5)
+	q := Query{Keywords: wl.QueryKeywords(4), P: 3, K: 1, N: 3}
+	full, err := SearchPartial(ds.Graph, ds.Attrs, q, Options{}, CandidateSlice{Index: 1, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("unbudgeted partial search reported truncation")
+	}
+	cut, err := SearchPartial(ds.Graph, ds.Attrs, q, Options{MaxNodes: 2}, CandidateSlice{Index: 0, Count: 2})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	if !cut.Truncated {
+		t.Fatal("budget-exhausted partial search not marked truncated")
+	}
+	_, exact, err := MergePartials(q.N, []*PartialResult{cut, full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Fatal("merge including a truncated part claimed exactness")
+	}
+}
+
+// TestMergePartialsConsistencyErrors: malformed partitions must error,
+// never silently merge.
+func TestMergePartialsConsistencyErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g, attrs, q := randomInstance(r)
+	opts := Options{Ordering: OrderVKCDegree}
+	parts := searchPartitioned(t, g, attrs, q, opts, 2)
+
+	if _, _, err := MergePartials(q.N, nil); err == nil {
+		t.Fatal("empty merge succeeded")
+	}
+	if _, _, err := MergePartials(q.N, []*PartialResult{parts[0], nil}); err == nil {
+		t.Fatal("nil part accepted")
+	}
+	if _, _, err := MergePartials(q.N, []*PartialResult{parts[0], parts[0]}); err == nil {
+		t.Fatal("duplicate slice accepted")
+	}
+	three, err := SearchPartial(g, attrs, q, opts, CandidateSlice{Index: 1, Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MergePartials(q.N, []*PartialResult{parts[0], three}); err == nil {
+		t.Fatal("mixed partition sizes accepted")
+	}
+	mutated := *parts[1]
+	mutated.FrontierSize++
+	if _, _, err := MergePartials(q.N, []*PartialResult{parts[0], &mutated}); err == nil {
+		t.Fatal("frontier-size mismatch accepted")
+	}
+	if _, err := SearchPartial(g, attrs, q, opts, CandidateSlice{Index: 2, Count: 2}); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+	if _, err := SearchPartial(g, attrs, q, opts, CandidateSlice{Index: 0, Count: 0}); err == nil {
+		t.Fatal("zero-count slice accepted")
+	}
+}

@@ -34,6 +34,24 @@ const (
 // cover at least one query keyword, ranked by descending joint coverage.
 // If fewer than N feasible groups exist, all of them are returned.
 func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options) (*Result, error) {
+	s, err := run(g, attrs, q, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Groups:     s.heap.Groups(),
+		QueryWidth: s.kq.Width(),
+		Stats:      s.stats,
+	}
+	return res, s.finishErr()
+}
+
+// run performs the shared branch-and-bound machinery behind Search and
+// SearchPartial: validation, query compilation, frontier construction,
+// and exploration. A nil slice explores the whole frontier; a non-nil
+// slice restricts depth-0 roots to the assigned stride and records the
+// accepted-offer stream for MergePartials.
+func run(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options, slice *CandidateSlice) (*searcher, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,6 +93,7 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		uncapped: opts.UncappedPruneBound,
 		maxNodes: opts.MaxNodes,
 		tracer:   opts.Tracer,
+		slice:    slice,
 		heap:     newTopN(q.N),
 		si:       make([]graph.Vertex, 0, q.P),
 	}
@@ -136,6 +155,7 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		root = append(root, candidate{v: v, key: int32(kq.CoverageCount(v)), deg: s.degree(v)})
 	}
 	s.sortCandidates(root)
+	s.frontier = len(root)
 	s.stats.CandidateTime = time.Since(candStart)
 	if s.tracer != nil {
 		s.tracer.Span(obs.PhaseCandidates, s.stats.CandidateTime)
@@ -171,23 +191,25 @@ func Search(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options)
 		obs.Attr{Key: "pruned", Value: strconv.FormatInt(s.stats.Pruned, 10)},
 		obs.Attr{Key: "filtered", Value: strconv.FormatInt(s.stats.Filtered, 10)})
 
-	res := &Result{
-		Groups:     s.heap.Groups(),
-		QueryWidth: kq.Width(),
-		Stats:      s.stats,
-	}
 	logger.Debug("ktg: search done",
-		"groups", len(res.Groups), "nodes", s.stats.Nodes, "pruned", s.stats.Pruned,
+		"groups", len(s.heap.items), "nodes", s.stats.Nodes, "pruned", s.stats.Pruned,
 		"filtered", s.stats.Filtered, "oracle_calls", s.stats.OracleCalls,
 		"feasible", s.stats.Feasible, "explore", s.stats.ExploreTime,
 		"budget_hit", s.budgetHit)
-	if s.budgetHit {
-		if s.ctxErr != nil {
-			return res, fmt.Errorf("search cancelled after %d nodes: %w", s.stats.Nodes, s.ctxErr)
-		}
-		return res, fmt.Errorf("search aborted after %d nodes: %w", s.stats.Nodes, ErrBudgetExhausted)
+	return s, nil
+}
+
+// finishErr maps budget exhaustion or cancellation onto the search error
+// contract: the caller still gets the best groups found so far, paired
+// with a wrapped context error or ErrBudgetExhausted.
+func (s *searcher) finishErr() error {
+	if !s.budgetHit {
+		return nil
 	}
-	return res, nil
+	if s.ctxErr != nil {
+		return fmt.Errorf("search cancelled after %d nodes: %w", s.stats.Nodes, s.ctxErr)
+	}
+	return fmt.Errorf("search aborted after %d nodes: %w", s.stats.Nodes, ErrBudgetExhausted)
 }
 
 type candidate struct {
@@ -217,6 +239,16 @@ type searcher struct {
 	si       []graph.Vertex
 	candBuf  [][]candidate
 	coverBuf []bitset.Set
+
+	// Partial-search state: slice restricts depth-0 roots to a stride of
+	// the frontier and turns on offer recording; curRoot/rootSeq tag each
+	// accepted offer with its position in the deterministic exploration
+	// order so MergePartials can replay the global offer stream.
+	slice    *CandidateSlice
+	frontier int
+	offers   []PartialOffer
+	curRoot  int
+	rootSeq  int
 
 	budgetHit bool
 }
@@ -276,6 +308,15 @@ func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 	}
 	childCover := s.coverBuf[depth+1]
 	for i := 0; i+need <= len(cands); i++ {
+		if depth == 0 && s.slice != nil {
+			if !s.slice.owns(i) {
+				continue
+			}
+			// Tag the subtree: every offer below this root records
+			// (RootPos=i, Seq=discovery order) for the merge replay.
+			s.curRoot = i
+			s.rootSeq = 0
+		}
 		if s.pruning {
 			// Theorem 2: coverage already secured plus the best
 			// possible increment from the top `need` remaining
@@ -343,11 +384,22 @@ func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 	}
 }
 
-// offer submits the current S_I as a feasible group.
+// offer submits the current S_I as a feasible group. Under a partial
+// search, accepted offers are also appended to the replay stream.
 func (s *searcher) offer(coverage int) {
 	members := append([]graph.Vertex(nil), s.si...)
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	s.heap.Offer(members, coverage)
+	if !s.heap.Offer(members, coverage) {
+		return
+	}
+	if s.slice != nil {
+		s.offers = append(s.offers, PartialOffer{
+			Group:   Group{Members: members, Coverage: coverage},
+			RootPos: s.curRoot,
+			Seq:     s.rootSeq,
+		})
+		s.rootSeq++
+	}
 }
 
 // sortCandidates ranks S_R per the configured ordering. All orderings

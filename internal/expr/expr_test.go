@@ -2,6 +2,7 @@ package expr
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -19,7 +20,7 @@ func tinyEnv() *Env {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	ids := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "ablation", "small"}
+	ids := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "ablation", "small", "medium"}
 	all := All()
 	if len(all) != len(ids) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(ids))
@@ -154,6 +155,33 @@ func TestSweepSmoke(t *testing.T) {
 	rep := &Report{ID: "smoke", Title: "t", Rows: rows}
 	if !strings.Contains(rep.Format(), "KTG-VKC-DEG-NLRNL") {
 		t.Error("Format missing algorithm name")
+	}
+}
+
+func TestDatasetFingerprint(t *testing.T) {
+	e := tinyEnv()
+	d, err := e.Data("brightkite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{ID: "x", Rows: []Row{
+		{Dataset: d.DS.Name},  // rows carry the display name
+		{Dataset: "unknowns"}, // never generated: flagged, not invented
+	}}
+	fp := DatasetFingerprint(e, rep)
+	want := "scale=0.004;" + d.DS.Name +
+		":n=" + strconv.Itoa(d.DS.Graph.NumVertices()) +
+		",m=" + strconv.Itoa(d.DS.Graph.NumEdges()) + ";unknowns:?"
+	if fp != want {
+		t.Errorf("fingerprint = %q, want %q", fp, want)
+	}
+	// Same env, same rows: the fingerprint is stable.
+	if again := DatasetFingerprint(e, rep); again != fp {
+		t.Errorf("fingerprint not deterministic: %q vs %q", again, fp)
+	}
+	benched := BenchJSON(e, &Report{ID: "x", Rows: rep.Rows[:1]})
+	if !strings.HasPrefix(benched.Fingerprint, "scale=0.004;") || strings.Contains(benched.Fingerprint, "?") {
+		t.Errorf("BenchJSON fingerprint unresolved: %q", benched.Fingerprint)
 	}
 }
 

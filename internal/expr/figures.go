@@ -49,6 +49,7 @@ func All() []Experiment {
 		{"fig9", "Figure 9: index space and construction time", runFig9},
 		{"ablation", "Design-choice ablations (extra, not a paper figure)", runAblation},
 		{"small", "Small CI sweep: brightkite latency vs p (committed benchmark baseline)", runSmall},
+		{"medium", "Medium sweep: brightkite+gowalla latency vs p (committed benchmark baseline)", runMedium},
 	}
 }
 
@@ -221,6 +222,21 @@ func runSmall(e *Env) (*Report, error) {
 		return nil, err
 	}
 	return &Report{ID: "small", Title: "small CI sweep", Rows: rows}, nil
+}
+
+// runMedium is the second committed-baseline experiment: two datasets,
+// a wider p sweep, and three algorithm variants. Still minutes-not-hours
+// at the default scale, but broad enough that perf drift in the exact
+// top-N search, the degree tie-break, and the diverse greedy all show
+// up in the checked-in BENCH_medium.json.
+func runMedium(e *Env) (*Report, error) {
+	rows, err := e.sweep("medium", "p", []int{3, 4, 5, 6},
+		[]string{"brightkite", "gowalla"},
+		[]Algo{AlgoVKCNLRNL, AlgoVKCDEGNLRNL, AlgoDKTGGreedy})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "medium", Title: "medium sweep", Rows: rows}, nil
 }
 
 // runFig9 measures index space (a) and construction time (b) for both

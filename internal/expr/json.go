@@ -2,7 +2,10 @@ package expr
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
+	"strings"
 )
 
 // BenchRow is one machine-readable measurement: the JSON shape written
@@ -30,20 +33,62 @@ type BenchRow struct {
 
 // BenchReport is the top-level object of a BENCH_*.json file.
 type BenchReport struct {
-	Experiment string     `json:"experiment"`
-	Title      string     `json:"title"`
-	Scale      float64    `json:"scale"`
-	Queries    int        `json:"queries"`
-	Rows       []BenchRow `json:"rows"`
+	Experiment string  `json:"experiment"`
+	Title      string  `json:"title"`
+	Scale      float64 `json:"scale"`
+	Queries    int     `json:"queries"`
+	// Fingerprint identifies the exact data the numbers were measured
+	// on: the scale plus vertex/edge counts of every dataset touched.
+	// Baselines measured on different data are not comparable, so
+	// ktgbench refuses to overwrite a BENCH_*.json whose fingerprint
+	// differs (see -force).
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Rows        []BenchRow `json:"rows"`
+}
+
+// DatasetFingerprint renders the identity of the data behind a report:
+// the environment's scale followed by "name:n=<vertices>,m=<edges>" for
+// every dataset the report's rows reference, sorted by name. The counts
+// come from the Env's generated datasets, so two runs fingerprint
+// equally exactly when the deterministic generator handed the sweep the
+// same graphs.
+func DatasetFingerprint(e *Env, rep *Report) string {
+	names := map[string]bool{}
+	for _, r := range rep.Rows {
+		names[r.Dataset] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	// Rows carry the dataset's display name (e.g. "Brightkite/0.01"),
+	// while the Env cache is keyed by preset; match on either.
+	byName := map[string]*Data{}
+	for key, d := range e.data {
+		byName[key] = d
+		byName[d.DS.Name] = d
+	}
+	parts := []string{fmt.Sprintf("scale=%g", e.Scale)}
+	for _, n := range sorted {
+		if d, ok := byName[n]; ok {
+			parts = append(parts, fmt.Sprintf("%s:n=%d,m=%d",
+				n, d.DS.Graph.NumVertices(), d.DS.Graph.NumEdges()))
+		} else {
+			parts = append(parts, n+":?")
+		}
+	}
+	return strings.Join(parts, ";")
 }
 
 // BenchJSON converts a finished report into its machine-readable form.
 func BenchJSON(e *Env, rep *Report) BenchReport {
 	out := BenchReport{
-		Experiment: rep.ID,
-		Title:      rep.Title,
-		Scale:      e.Scale,
-		Queries:    e.Queries,
+		Experiment:  rep.ID,
+		Title:       rep.Title,
+		Scale:       e.Scale,
+		Queries:     e.Queries,
+		Fingerprint: DatasetFingerprint(e, rep),
 	}
 	for _, r := range rep.Rows {
 		samples := r.Latency.Samples

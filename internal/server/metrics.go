@@ -47,8 +47,17 @@ var (
 		"ktg_server_diverse_requests_total", "POST /v1/diverse requests received")
 	mDatasetsRequests = obs.Default().Counter(
 		"ktg_server_datasets_requests_total", "GET /v1/datasets requests received")
+	mPartialRequests = obs.Default().Counter(
+		"ktg_server_partial_requests_total", "POST /v1/query/partial shard-worker requests received")
+	mPartialOffers = obs.Default().Counter(
+		"ktg_server_partial_offers_total", "merge-stream offers returned across partial responses")
+	mPartialTruncated = obs.Default().Counter(
+		"ktg_server_partial_truncated_total", "partial searches cut short by a deadline or node budget")
 	mQueryLatency = obs.Default().HistogramVec(
 		"ktg_server_query_latency_ns", "end-to-end POST /v1/query latency in nanoseconds",
+		"dataset", "algorithm")
+	mPartialLatency = obs.Default().HistogramVec(
+		"ktg_server_partial_latency_ns", "end-to-end POST /v1/query/partial latency in nanoseconds",
 		"dataset", "algorithm")
 	mDiverseLatency = obs.Default().HistogramVec(
 		"ktg_server_diverse_latency_ns", "end-to-end POST /v1/diverse latency in nanoseconds",

@@ -61,6 +61,12 @@ type QueryRequest struct {
 	// MaxNodes bounds branch-and-bound effort; 0 means unlimited. Like
 	// a timeout, exhaustion yields a partial result.
 	MaxNodes int64 `json:"max_nodes,omitempty"`
+	// SliceIndex/SliceCount select a strided slice of the candidate
+	// frontier for POST /v1/query/partial (the scatter-gather worker
+	// endpoint); rejected everywhere else. SliceCount is the partition
+	// size, SliceIndex in [0, SliceCount).
+	SliceIndex int `json:"slice_index,omitempty"`
+	SliceCount int `json:"slice_count,omitempty"`
 }
 
 // GroupJSON is one result group on the wire.
@@ -84,8 +90,8 @@ type QueryResponse struct {
 	// Partial is true when the search hit its time or node budget; the
 	// groups are the best found within it. PartialReason is "deadline"
 	// or "budget".
-	Partial       bool            `json:"partial,omitempty"`
-	PartialReason string          `json:"partial_reason,omitempty"`
+	Partial       bool   `json:"partial,omitempty"`
+	PartialReason string `json:"partial_reason,omitempty"`
 	// Degraded is true when the server downgraded an exact search to the
 	// greedy algorithm under load pressure; DegradedReason is
 	// "queue_wait" or "deadline_pressure". Degraded responses are never
@@ -99,18 +105,18 @@ type QueryResponse struct {
 	Cache string `json:"cache"`
 }
 
-// apiError is a structured 4xx/5xx: it renders as
+// APIError is a structured 4xx/5xx: it renders as
 // {"error": {"code": ..., "message": ...}} with the given HTTP status.
-type apiError struct {
+type APIError struct {
 	Status  int    `json:"-"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
 
-func (e *apiError) Error() string { return e.Message }
+func (e *APIError) Error() string { return e.Message }
 
-func badRequest(code, format string, args ...any) *apiError {
-	return &apiError{Status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
+func badRequest(code, format string, args ...any) *APIError {
+	return &APIError{Status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
 }
 
 // limits are the server-configured validation ceilings.
@@ -123,7 +129,7 @@ type limits struct {
 // decodeRequest parses and strictly validates a query request body.
 // Unknown JSON fields are rejected so client typos (e.g. "groupsize")
 // fail loudly instead of silently applying defaults.
-func decodeRequest(r *http.Request, diverse bool, lim limits) (*QueryRequest, *apiError) {
+func decodeRequest(r *http.Request, kind string, lim limits) (*QueryRequest, *APIError) {
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	var req QueryRequest
@@ -133,13 +139,38 @@ func decodeRequest(r *http.Request, diverse bool, lim limits) (*QueryRequest, *a
 	if dec.More() {
 		return nil, badRequest("malformed_body", "request body must contain exactly one JSON object")
 	}
-	if err := req.validate(diverse, lim); err != nil {
+	if err := req.validate(kind, lim); err != nil {
 		return nil, err
 	}
 	return &req, nil
 }
 
-func (req *QueryRequest) validate(diverse bool, lim limits) *apiError {
+// RequestLimits are the validation ceilings for DecodeRequest, mirroring
+// the server's MaxKeywords / MaxGroupSize / MaxTopN configuration.
+type RequestLimits struct {
+	MaxKeywords  int
+	MaxGroupSize int
+	MaxTopN      int
+}
+
+// DecodeRequest parses and validates a client-facing query request body
+// exactly as the server's /v1/query (diverse=false) or /v1/diverse
+// (diverse=true) endpoint would. The shard coordinator reuses it so its
+// front-end surface rejects precisely what a single-node server would.
+func DecodeRequest(r *http.Request, diverse bool, lim RequestLimits) (*QueryRequest, *APIError) {
+	kind := kindQuery
+	if diverse {
+		kind = kindDiverse
+	}
+	return decodeRequest(r, kind, limits{
+		maxKeywords:  lim.MaxKeywords,
+		maxGroupSize: lim.MaxGroupSize,
+		maxTopN:      lim.MaxTopN,
+	})
+}
+
+func (req *QueryRequest) validate(kind string, lim limits) *APIError {
+	diverse := kind == kindDiverse
 	if req.Dataset == "" {
 		return badRequest("missing_dataset", "dataset is required")
 	}
@@ -197,6 +228,21 @@ func (req *QueryRequest) validate(diverse bool, lim limits) *apiError {
 	}
 	if diverse && req.Algorithm == "greedy" {
 		return badRequest("unknown_algorithm", "algorithm \"greedy\" is not available on /v1/diverse")
+	}
+	if kind == kindPartial {
+		if req.SliceCount < 1 {
+			return badRequest("invalid_slice", "slice_count must be at least 1, got %d", req.SliceCount)
+		}
+		if req.SliceIndex < 0 || req.SliceIndex >= req.SliceCount {
+			return badRequest("invalid_slice", "slice_index %d out of range [0,%d)", req.SliceIndex, req.SliceCount)
+		}
+		// Only the branch-and-bound algorithms decompose into mergeable
+		// frontier slices; greedy and brute answers are forwarded whole.
+		if req.Algorithm == "greedy" || req.Algorithm == "brute" {
+			return badRequest("unknown_algorithm", "algorithm %q is not available on /v1/query/partial", req.Algorithm)
+		}
+	} else if req.SliceCount != 0 || req.SliceIndex != 0 {
+		return badRequest("invalid_slice", "slice_index/slice_count apply only to /v1/query/partial")
 	}
 	return nil
 }

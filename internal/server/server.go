@@ -28,6 +28,7 @@ import (
 const (
 	kindQuery   = "query"
 	kindDiverse = "diverse"
+	kindPartial = "partial"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -192,6 +193,7 @@ func (s *Server) traceStore() *obs.TraceStore {
 // Handler returns the server's route tree:
 //
 //	POST /v1/query             exact / greedy KTG search
+//	POST /v1/query/partial     one frontier slice of a scattered search (shard workers)
 //	POST /v1/diverse           DKTG-Greedy diverse search
 //	GET  /v1/datasets          served datasets and their stats
 //	POST /v1/cache/invalidate  drop all cached results
@@ -213,6 +215,7 @@ func (s *Server) traceStore() *obs.TraceStore {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/query/partial", s.handlePartial)
 	mux.HandleFunc("POST /v1/diverse", s.handleDiverse)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("POST /v1/cache/invalidate", s.handleInvalidate)
@@ -268,7 +271,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 				"path", r.URL.Path, "panic", rec, "stack", string(debug.Stack()))
 			// Best effort: if the handler already started the response the
 			// extra header write is a no-op on a hijacked/committed stream.
-			writeAPIError(w, &apiError{
+			writeAPIError(w, &APIError{
 				Status:  http.StatusInternalServerError,
 				Code:    "internal_panic",
 				Message: "internal error",
@@ -309,7 +312,7 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 		}
 	}()
 
-	req, aerr := decodeRequest(r, kind == kindDiverse, limits{
+	req, aerr := decodeRequest(r, kind, limits{
 		maxKeywords:  s.cfg.MaxKeywords,
 		maxGroupSize: s.cfg.MaxGroupSize,
 		maxTopN:      s.cfg.MaxTopN,
@@ -322,7 +325,7 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 	ds, ok := s.datasets[req.Dataset]
 	if !ok {
 		mRejectInvalid.Inc()
-		writeAPIError(w, &apiError{
+		writeAPIError(w, &APIError{
 			Status:  http.StatusNotFound,
 			Code:    "unknown_dataset",
 			Message: fmt.Sprintf("unknown dataset %q (serving: %v)", req.Dataset, s.names),
@@ -339,7 +342,7 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 	if s.draining.Load() {
 		mRejectDraining.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(true)))
-		writeAPIError(w, &apiError{
+		writeAPIError(w, &APIError{
 			Status:  http.StatusServiceUnavailable,
 			Code:    "draining",
 			Message: "server is shutting down",
@@ -425,7 +428,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		logger.Error("search panicked",
 			"dataset", req.Dataset, "kind", kind, "panic", rec, "stack", string(debug.Stack()))
 		resp, shareable = nil, false
-		err = &apiError{
+		err = &APIError{
 			Status:  http.StatusInternalServerError,
 			Code:    "internal_panic",
 			Message: "internal error while executing the search",
@@ -626,7 +629,7 @@ func (s *Server) writeResponse(w http.ResponseWriter, resp *QueryResponse, cache
 
 // writeError maps pipeline errors onto HTTP statuses.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
-	var aerr *apiError
+	var aerr *APIError
 	switch {
 	case errors.As(err, &aerr):
 		if aerr.Status < 500 {
@@ -636,7 +639,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, errOverloaded):
 		mRejectOverload.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(false)))
-		writeAPIError(w, &apiError{
+		writeAPIError(w, &APIError{
 			Status:  http.StatusTooManyRequests,
 			Code:    "overloaded",
 			Message: "all workers busy and the wait queue is full; retry shortly",
@@ -645,14 +648,14 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		// The client is gone; the status code is for logs only.
 		mCancelled.Inc()
 		s.reqLogger(r.Context()).Info("request abandoned by client", "path", r.URL.Path)
-		writeAPIError(w, &apiError{
+		writeAPIError(w, &APIError{
 			Status:  http.StatusServiceUnavailable,
 			Code:    "client_gone",
 			Message: "request context cancelled before a result was ready",
 		})
 	default:
 		s.reqLogger(r.Context()).Error("query failed", "path", r.URL.Path, "err", err)
-		writeAPIError(w, &apiError{
+		writeAPIError(w, &APIError{
 			Status:  http.StatusInternalServerError,
 			Code:    "internal",
 			Message: err.Error(),
@@ -660,9 +663,17 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 }
 
-func writeAPIError(w http.ResponseWriter, aerr *apiError) {
+func writeAPIError(w http.ResponseWriter, aerr *APIError) {
 	writeJSON(w, aerr.Status, map[string]any{"error": aerr})
 }
+
+// WriteAPIError and WriteJSON expose the server's wire encoding (status
+// mapping, {"error": {...}} envelope, indented JSON) so the shard
+// coordinator answers byte-compatibly with a single-node server.
+func WriteAPIError(w http.ResponseWriter, aerr *APIError) { writeAPIError(w, aerr) }
+
+// WriteJSON encodes v exactly as the server's own handlers do.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

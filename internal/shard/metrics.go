@@ -1,0 +1,29 @@
+package shard
+
+import "ktg/internal/obs"
+
+// Coordinator metrics, on the shared obs registry so the embedded
+// /metrics route and the -debug-addr surface expose them identically.
+var (
+	mQueryRequests = obs.Default().Counter(
+		"ktg_coord_query_requests_total", "POST /v1/query requests received by the coordinator")
+	mDiverseRequests = obs.Default().Counter(
+		"ktg_coord_diverse_requests_total", "POST /v1/diverse requests received by the coordinator")
+	mScatter = obs.Default().Counter(
+		"ktg_coord_scatter_total", "queries scattered across shard frontier slices")
+	mForward = obs.Default().Counter(
+		"ktg_coord_forward_total", "queries forwarded whole to a single shard (greedy, brute, diverse)")
+	mPartialAnswers = obs.Default().Counter(
+		"ktg_coord_partial_total", "coordinator answers flagged partial (shard loss, truncation, or incomplete merge)")
+	mShardFailures = obs.Default().CounterVec(
+		"ktg_coord_shard_failures_total", "scatter legs that failed after client retries, by shard base URL",
+		"shard")
+	mMergeOffers = obs.Default().Counter(
+		"ktg_coord_merge_offers_total", "shard offers replayed through the coordinator's merge heap")
+	mQueryLatency = obs.Default().Histogram(
+		"ktg_coord_query_latency_ns", "end-to-end coordinator POST /v1/query latency in nanoseconds")
+	mRejectInvalid = obs.Default().Counter(
+		"ktg_coord_rejected_invalid_total", "coordinator requests rejected with a 4xx by validation")
+	mRejectDraining = obs.Default().Counter(
+		"ktg_coord_rejected_draining_total", "coordinator requests rejected with 503 while draining")
+)

@@ -1,0 +1,446 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ktg"
+	"ktg/internal/client"
+	"ktg/internal/obs"
+	"ktg/internal/server"
+)
+
+// QueryResponse is the coordinator's answer: the single-node
+// QueryResponse shape plus the fleet fields. shards_failed > 0 (always
+// paired with "partial": true on scattered queries) is the explicit
+// signal that shard loss made this answer a best-effort subset — the
+// coordinator never silently returns a wrong-looking-complete result.
+type QueryResponse struct {
+	Dataset        string             `json:"dataset"`
+	Algorithm      string             `json:"algorithm"`
+	Groups         []server.GroupJSON `json:"groups"`
+	Diversity      *float64           `json:"diversity,omitempty"`
+	MinQKC         *float64           `json:"min_qkc,omitempty"`
+	Score          *float64           `json:"score,omitempty"`
+	Partial        bool               `json:"partial,omitempty"`
+	PartialReason  string             `json:"partial_reason,omitempty"`
+	Degraded       bool               `json:"degraded,omitempty"`
+	DegradedReason string             `json:"degraded_reason,omitempty"`
+	Stats          ktg.SearchStats    `json:"stats"`
+	Cache          string             `json:"cache"`
+	// ShardsTotal is the fleet size; ShardsFailed counts shards that
+	// produced no usable answer for this query after client retries.
+	ShardsTotal  int `json:"shards_total"`
+	ShardsFailed int `json:"shards_failed,omitempty"`
+}
+
+func (co *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	mQueryRequests.Inc()
+	start := time.Now()
+	defer func() { mQueryLatency.Observe(time.Since(start).Nanoseconds()) }()
+
+	req, aerr := server.DecodeRequest(r, false, co.limits())
+	if aerr != nil {
+		mRejectInvalid.Inc()
+		server.WriteAPIError(w, aerr)
+		return
+	}
+	if co.rejectDraining(w) {
+		return
+	}
+	if req.Algorithm == "greedy" || req.Algorithm == "brute" {
+		// These answers do not decompose into mergeable frontier slices;
+		// every shard holds the full dataset, so one shard answers whole.
+		co.forward(w, r, req, false)
+		return
+	}
+	co.scatter(w, r, req)
+}
+
+func (co *Coordinator) handleDiverse(w http.ResponseWriter, r *http.Request) {
+	mDiverseRequests.Inc()
+	req, aerr := server.DecodeRequest(r, true, co.limits())
+	if aerr != nil {
+		mRejectInvalid.Inc()
+		server.WriteAPIError(w, aerr)
+		return
+	}
+	if co.rejectDraining(w) {
+		return
+	}
+	co.forward(w, r, req, true)
+}
+
+func (co *Coordinator) limits() server.RequestLimits {
+	return server.RequestLimits{
+		MaxKeywords:  co.cfg.MaxKeywords,
+		MaxGroupSize: co.cfg.MaxGroupSize,
+		MaxTopN:      co.cfg.MaxTopN,
+	}
+}
+
+func (co *Coordinator) rejectDraining(w http.ResponseWriter) bool {
+	if !co.draining.Load() {
+		return false
+	}
+	mRejectDraining.Inc()
+	w.Header().Set("Retry-After", "1")
+	server.WriteAPIError(w, &server.APIError{
+		Status:  http.StatusServiceUnavailable,
+		Code:    "draining",
+		Message: "coordinator is shutting down",
+	})
+	return true
+}
+
+// clampCtx applies the request deadline exactly like a single-node
+// server: timeout_ms when given, else the default, capped at the max.
+func (co *Coordinator) clampCtx(ctx context.Context, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	timeout := co.cfg.DefaultTimeout
+	if timeoutMillis > 0 {
+		timeout = time.Duration(timeoutMillis) * time.Millisecond
+	}
+	if timeout > co.cfg.MaxTimeout {
+		timeout = co.cfg.MaxTimeout
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+func toClientRequest(req *server.QueryRequest) *client.Request {
+	return &client.Request{
+		Dataset:       req.Dataset,
+		Keywords:      req.Keywords,
+		GroupSize:     req.GroupSize,
+		Tenuity:       req.Tenuity,
+		TopN:          req.TopN,
+		Algorithm:     req.Algorithm,
+		Gamma:         req.Gamma,
+		Seeds:         req.Seeds,
+		TimeoutMillis: req.TimeoutMillis,
+		MaxNodes:      req.MaxNodes,
+	}
+}
+
+// scatter partitions the query's candidate frontier across the fleet
+// (slice i of M to shard i), gathers the partial answers, and merges
+// them. Shard failures degrade the answer to an explicitly-partial one;
+// only a fleet-wide failure turns into an error.
+func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, req *server.QueryRequest) {
+	mScatter.Inc()
+	logger := co.reqLogger(r.Context())
+	span := obs.SpanFromContext(r.Context())
+	span.SetAttr("dataset", req.Dataset)
+	span.SetAttr("shards", strconv.Itoa(len(co.shards)))
+
+	ctx, cancel := co.clampCtx(r.Context(), req.TimeoutMillis)
+	defer cancel()
+
+	total := len(co.shards)
+	responses := make([]*client.PartialResponse, total)
+	errs := make([]error, total)
+	var wg sync.WaitGroup
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, sh *shardConn) {
+			defer wg.Done()
+			creq := toClientRequest(req)
+			creq.SliceIndex, creq.SliceCount = i, total
+			responses[i], errs[i] = sh.c.QueryPartial(ctx, creq)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	var (
+		parts     []*ktg.PartialResult
+		offers    int64
+		failed    int
+		lastErr   error
+		truncated string
+	)
+	for i, resp := range responses {
+		if errs[i] != nil {
+			failed++
+			lastErr = errs[i]
+			mShardFailures.With(co.shards[i].base).Inc()
+			logger.Warn("shard failed during scatter",
+				"shard", co.shards[i].base, "slice", i, "err", errs[i])
+			continue
+		}
+		if resp.Partial && truncated == "" {
+			truncated = resp.PartialReason
+		}
+		offers += int64(len(resp.Offers))
+		parts = append(parts, resp.PartialResult())
+	}
+	if len(parts) == 0 {
+		server.WriteAPIError(w, &server.APIError{
+			Status:  http.StatusServiceUnavailable,
+			Code:    "all_shards_failed",
+			Message: fmt.Sprintf("no shard answered (%d/%d failed; last error: %v)", failed, total, lastErr),
+		})
+		return
+	}
+	mMergeOffers.Add(offers)
+
+	merged, exact, err := ktg.MergePartials(req.TopN, parts)
+	if err != nil {
+		// Shards disagreed on the partition or frontier — they are not
+		// serving the same dataset. Refusing is the only safe answer.
+		logger.Error("shard answers are inconsistent; refusing to merge", "err", err)
+		server.WriteAPIError(w, &server.APIError{
+			Status:  http.StatusBadGateway,
+			Code:    "shard_inconsistent",
+			Message: fmt.Sprintf("shard answers cannot be merged: %v", err),
+		})
+		return
+	}
+
+	resp := &QueryResponse{
+		Dataset:      responses[firstOK(errs)].Dataset,
+		Algorithm:    req.Algorithm,
+		Groups:       make([]server.GroupJSON, 0, len(merged.Groups)),
+		Stats:        merged.Stats,
+		Cache:        "miss",
+		ShardsTotal:  total,
+		ShardsFailed: failed,
+	}
+	if resp.Algorithm == "" {
+		resp.Algorithm = "vkc-deg"
+	}
+	for _, g := range merged.Groups {
+		resp.Groups = append(resp.Groups, server.GroupJSON{Members: g.Members, Covered: g.Covered, QKC: g.QKC})
+	}
+	if !exact {
+		resp.Partial = true
+		switch {
+		case failed > 0:
+			resp.PartialReason = "shard_failure"
+		case truncated != "":
+			resp.PartialReason = truncated
+		default:
+			resp.PartialReason = "incomplete"
+		}
+		mPartialAnswers.Inc()
+		span.Event("merge.partial", int64(failed))
+	}
+	span.SetAttr("shards_failed", strconv.Itoa(failed))
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+func firstOK(errs []error) int {
+	for i, err := range errs {
+		if err == nil {
+			return i
+		}
+	}
+	return 0
+}
+
+// forward sends the query whole to one shard, failing over across the
+// fleet. Structured 4xx rejections are the caller's bug and propagate
+// immediately; transport/5xx failures try the next shard.
+func (co *Coordinator) forward(w http.ResponseWriter, r *http.Request, req *server.QueryRequest, diverse bool) {
+	mForward.Inc()
+	logger := co.reqLogger(r.Context())
+	ctx, cancel := co.clampCtx(r.Context(), req.TimeoutMillis)
+	defer cancel()
+
+	total := len(co.shards)
+	start := int(co.rr.Add(1)) % total
+	creq := toClientRequest(req)
+	var lastErr error
+	failed := 0
+	for n := 0; n < total; n++ {
+		sh := co.shards[(start+n)%total]
+		var (
+			resp *client.Response
+			err  error
+		)
+		if diverse {
+			resp, err = sh.c.Diverse(ctx, creq)
+		} else {
+			resp, err = sh.c.Query(ctx, creq)
+		}
+		if err == nil {
+			co.writeForwarded(w, resp, total, failed)
+			return
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Status < 500 && apiErr.Status != http.StatusTooManyRequests {
+			server.WriteAPIError(w, &server.APIError{
+				Status: apiErr.Status, Code: apiErr.Code, Message: apiErr.Message,
+			})
+			return
+		}
+		failed++
+		lastErr = err
+		mShardFailures.With(sh.base).Inc()
+		logger.Warn("shard failed forwarded query", "shard", sh.base, "err", err)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	server.WriteAPIError(w, &server.APIError{
+		Status:  http.StatusServiceUnavailable,
+		Code:    "all_shards_failed",
+		Message: fmt.Sprintf("no shard answered the forwarded query (last error: %v)", lastErr),
+	})
+}
+
+// writeForwarded re-encodes a shard's whole answer under the
+// coordinator's response shape.
+func (co *Coordinator) writeForwarded(w http.ResponseWriter, resp *client.Response, total, failed int) {
+	out := &QueryResponse{
+		Dataset:        resp.Dataset,
+		Algorithm:      resp.Algorithm,
+		Groups:         make([]server.GroupJSON, 0, len(resp.Groups)),
+		Diversity:      resp.Diversity,
+		MinQKC:         resp.MinQKC,
+		Score:          resp.Score,
+		Partial:        resp.Partial,
+		PartialReason:  resp.PartialReason,
+		Degraded:       resp.Degraded,
+		DegradedReason: resp.DegradedReason,
+		Stats:          resp.Stats,
+		Cache:          resp.Cache,
+		ShardsTotal:    total,
+		ShardsFailed:   failed,
+	}
+	for _, g := range resp.Groups {
+		members := make([]ktg.Vertex, len(g.Members))
+		for i, m := range g.Members {
+			members[i] = ktg.Vertex(m)
+		}
+		out.Groups = append(out.Groups, server.GroupJSON{Members: members, Covered: g.Covered, QKC: g.QKC})
+	}
+	if out.Partial {
+		mPartialAnswers.Inc()
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+// shardStatus is one row of GET /v1/shards.
+type shardStatus struct {
+	URL     string       `json:"url"`
+	Healthy bool         `json:"healthy"`
+	Breaker string       `json:"breaker"`
+	Stats   client.Stats `json:"stats"`
+}
+
+func (co *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	out := make([]shardStatus, len(co.shards))
+	var wg sync.WaitGroup
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, sh *shardConn) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+			defer cancel()
+			out[i] = shardStatus{
+				URL:     sh.base,
+				Healthy: sh.c.Health(ctx) == nil,
+				Breaker: breakerName(sh.c.BreakerState()),
+				Stats:   sh.c.Stats(),
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	server.WriteJSON(w, http.StatusOK, map[string]any{"shards": out})
+}
+
+func breakerName(state int) string {
+	switch state {
+	case client.StateOpen:
+		return "open"
+	case client.StateHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// handleDatasets forwards GET /v1/datasets from the first answering
+// shard (the fleet serves identical datasets by contract).
+func (co *Coordinator) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	var lastErr error
+	for _, sh := range co.shards {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+"/v1/datasets", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		res, err := co.httpc().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(res.Body, 8<<20))
+		res.Body.Close()
+		if err != nil || res.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("shard %s returned %d", sh.base, res.StatusCode)
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
+	server.WriteAPIError(w, &server.APIError{
+		Status:  http.StatusServiceUnavailable,
+		Code:    "all_shards_failed",
+		Message: fmt.Sprintf("no shard answered /v1/datasets (last error: %v)", lastErr),
+	})
+}
+
+// handleInvalidate fans the cache invalidation out to every shard.
+func (co *Coordinator) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	okCount := 0
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, sh := range co.shards {
+		wg.Add(1)
+		go func(sh *shardConn) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.base+"/v1/cache/invalidate", nil)
+			if err != nil {
+				return
+			}
+			res, err := co.httpc().Do(req)
+			if err != nil {
+				return
+			}
+			_, _ = io.Copy(io.Discard, io.LimitReader(res.Body, 1<<16))
+			res.Body.Close()
+			if res.StatusCode == http.StatusOK {
+				mu.Lock()
+				okCount++
+				mu.Unlock()
+			}
+		}(sh)
+	}
+	wg.Wait()
+	server.WriteJSON(w, http.StatusOK, map[string]any{
+		"shards_total": len(co.shards),
+		"shards_ok":    okCount,
+	})
+}
+
+// httpc is the plain HTTP client for non-query forwarding (datasets,
+// cache invalidation); query traffic goes through the resilient
+// per-shard clients instead.
+func (co *Coordinator) httpc() *http.Client {
+	if co.cfg.Client.HTTPClient != nil {
+		return co.cfg.Client.HTTPClient
+	}
+	return http.DefaultClient
+}

@@ -1,0 +1,185 @@
+package shard
+
+// The shard-loss soak: the acceptance test for scatter-gather
+// degradation. Three shard workers serve the same dataset — one clean,
+// one behind chaos middleware injecting a ≈40% combined fault rate,
+// and one that is killed abruptly (connections torn down, listener
+// closed) partway through the run. A workload of queries flows through
+// the coordinator, and every answer must be either exactly the
+// single-node result or explicitly partial with shards_failed ≥ 1 —
+// never an error while any shard lives, and never a silently wrong
+// answer.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ktg"
+	"ktg/internal/chaos"
+	"ktg/internal/client"
+	"ktg/internal/gen"
+	"ktg/internal/server"
+	"ktg/internal/workload"
+)
+
+// soakChaosSpec combines to ≈40% of requests suffering at least one
+// fault (latency excluded), matching the client soak's spec shape.
+const soakChaosSpec = "seed=11,latency=0.10:1ms-10ms,e429=0.12:0,e500=0.10,e503=0.06,reset=0.05,truncate=0.05"
+
+const (
+	soakPreset   = "brightkite"
+	soakScale    = 0.01
+	soakQueries  = 36
+	soakKillAt   = 12 // queries completed before the third shard dies
+	soakGroup    = 4
+	soakTenuity  = 2
+	soakKeywords = 4
+)
+
+func soakShard(t *testing.T, net *ktg.Network, idx ktg.DistanceIndex) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Workers:          4,
+		QueueDepth:       32,
+		DegradeQueueWait: -1, // degraded answers would break the equality half of the invariant
+	}, &server.Dataset{Name: soakPreset, Network: net, Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSoakShardLossAnswersExactOrExplicitlyPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	net, err := ktg.GeneratePreset(soakPreset, soakScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := gen.GeneratePreset(soakPreset, soakScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(ds, 42)
+	bodies := make([]string, soakQueries)
+	for i := range bodies {
+		req := &client.Request{
+			Dataset:   soakPreset,
+			Keywords:  g.KeywordNames(g.QueryKeywords(soakKeywords)),
+			GroupSize: soakGroup,
+			Tenuity:   soakTenuity,
+			TopN:      1 + i%3,
+		}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = string(raw)
+	}
+
+	// Fault-free single-node baseline for every query in the workload.
+	baselineTS := httptest.NewServer(soakShard(t, net, idx).Handler())
+	defer baselineTS.Close()
+	baseline := make([]any, soakQueries)
+	for i, body := range bodies {
+		out := httpPostJSON(t, baselineTS.URL+"/v1/query", body)
+		baseline[i] = out["groups"]
+	}
+
+	spec, err := chaos.ParseSpec(soakChaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanTS := httptest.NewServer(soakShard(t, net, idx).Handler())
+	defer cleanTS.Close()
+	chaosTS := httptest.NewServer(chaos.New(spec).Wrap(soakShard(t, net, idx).Handler()))
+	defer chaosTS.Close()
+	doomedTS := httptest.NewServer(soakShard(t, net, idx).Handler())
+	doomedClosed := false
+	defer func() {
+		if !doomedClosed {
+			doomedTS.Close()
+		}
+	}()
+
+	co, err := New(Config{
+		Shards: []string{cleanTS.URL, chaosTS.URL, doomedTS.URL},
+		Client: client.Config{
+			MaxAttempts:    6,
+			AttemptTimeout: 5 * time.Second,
+			BackoffBase:    2 * time.Millisecond,
+			BackoffCap:     20 * time.Millisecond,
+			RetryBudget:    -1, // the soak hammers on purpose
+			Breaker:        client.BreakerConfig{Threshold: 3, Cooldown: 200 * time.Millisecond},
+			Seed:           3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTS := httptest.NewServer(co.Handler())
+	defer coordTS.Close()
+
+	exact, partial := 0, 0
+	for i, body := range bodies {
+		if i == soakKillAt {
+			// The abrupt-death analog of SIGKILL: tear down every live
+			// connection mid-flight, then stop listening entirely.
+			doomedTS.CloseClientConnections()
+			doomedTS.Close()
+			doomedClosed = true
+		}
+		out := httpPostJSON(t, coordTS.URL+"/v1/query", body)
+		if errObj, isErr := out["error"]; isErr {
+			t.Fatalf("query %d errored with live shards remaining: %v", i, errObj)
+		}
+		if out["partial"] == true {
+			partial++
+			if sf, _ := out["shards_failed"].(float64); sf < 1 {
+				t.Fatalf("query %d: partial answer without shards_failed: %v", i, out)
+			}
+			continue
+		}
+		// A non-partial coordinator answer claims completeness — hold it
+		// to the single-node result exactly.
+		exact++
+		if out["shards_failed"] != nil {
+			t.Fatalf("query %d: shards_failed on a non-partial answer: %v", i, out)
+		}
+		if !reflect.DeepEqual(baseline[i], out["groups"]) {
+			t.Fatalf("query %d: complete-looking answer differs from single node\nwant %v\ngot  %v",
+				i, baseline[i], out["groups"])
+		}
+	}
+	if exact == 0 {
+		t.Fatal("soak never produced an exact answer")
+	}
+	if partial < soakQueries-soakKillAt {
+		t.Fatalf("only %d partial answers after the shard died at query %d", partial, soakKillAt)
+	}
+	t.Logf("soak: %d exact, %d explicitly partial of %d queries", exact, partial, soakQueries)
+}
+
+func httpPostJSON(t *testing.T, url, body string) map[string]any {
+	t.Helper()
+	res, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatalf("response is not JSON: %v", err)
+	}
+	return out
+}

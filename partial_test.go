@@ -1,0 +1,58 @@
+package ktg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPublicPartialRoundTrip checks the public wrappers end to end:
+// SearchPartial per slice, MergePartials, byte-identical to Search —
+// including the Covered keyword names the coordinator re-attaches from
+// the offer stream instead of a local vocabulary.
+func TestPublicPartialRoundTrip(t *testing.T) {
+	net, err := GeneratePreset("brightkite", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kws := net.PopularKeywords(4)
+	q := Query{Keywords: kws, GroupSize: 3, Tenuity: 2, TopN: 3}
+	want, err := net.Search(q, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{2, 3} {
+		parts := make([]*PartialResult, count)
+		for i := range parts {
+			parts[i], err = net.SearchPartial(q, SearchOptions{}, CandidateSlice{Index: i, Count: count})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parts[i].Slice != (CandidateSlice{Index: i, Count: count}) {
+				t.Fatalf("part echoes slice %+v", parts[i].Slice)
+			}
+		}
+		got, exact, err := MergePartials(q.TopN, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact {
+			t.Fatalf("count=%d: full partition merged inexact", count)
+		}
+		if !reflect.DeepEqual(want.Groups, got.Groups) {
+			t.Fatalf("count=%d: merged groups differ\nwant %+v\ngot  %+v", count, want.Groups, got.Groups)
+		}
+	}
+}
+
+// TestPublicPartialRejectsBruteForce: only branch-and-bound algorithms
+// can run partially.
+func TestPublicPartialRejectsBruteForce(t *testing.T) {
+	net, err := GeneratePreset("brightkite", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Keywords: net.PopularKeywords(2), GroupSize: 2, Tenuity: 1, TopN: 1}
+	if _, err := net.SearchPartial(q, SearchOptions{Algorithm: AlgBruteForce}, CandidateSlice{Index: 0, Count: 2}); err == nil {
+		t.Fatal("brute force accepted as partial search")
+	}
+}

@@ -21,8 +21,13 @@ go test -race ./...
 # shut down cleanly via SIGTERM.
 tmp=$(mktemp -d "$(pwd)/.verify-tmp.XXXXXX")
 server_pid=""
+shard1_pid=""
+shard2_pid=""
+coord_pid=""
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    for p in $server_pid $shard1_pid $shard2_pid $coord_pid; do
+        kill "$p" 2>/dev/null || true
+    done
     rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
@@ -119,5 +124,47 @@ grep -q '"name":"search.query"' "$tmp/server-traces.jsonl"
 tid=$(sed -n 's/.*"traceId":"\([0-9a-f]\{32\}\)".*/\1/p' "$tmp/client-traces.jsonl" | head -n 1)
 [ -n "$tid" ]
 grep -q "$tid" "$tmp/server-traces.jsonl"
+
+# --- scatter-gather smoke --------------------------------------------
+# Two shard workers plus a coordinator. A workload through the
+# coordinator must (a) lose no query, (b) match a direct single-node
+# run group-for-group (ktgload -compare-addr), and (c) leave at least
+# one trace ID spanning the coordinator's and a shard's span exports —
+# the scatter propagated its traceparent into the partial calls.
+go build -o "$tmp/ktgcoord" ./cmd/ktgcoord
+
+boot_server "$tmp/shard1.log" -trace-export "$tmp/shard-traces.jsonl"
+shard1_pid=$server_pid; shard1_addr=$addr; server_pid=""
+boot_server "$tmp/shard2.log"
+shard2_pid=$server_pid; shard2_addr=$addr; server_pid=""
+
+"$tmp/ktgcoord" -addr 127.0.0.1:0 \
+    -shards "http://$shard1_addr,http://$shard2_addr" \
+    -trace-export "$tmp/coord-traces.jsonl" 2>"$tmp/coord.log" &
+coord_pid=$!
+coord_addr=""
+for _ in $(seq 1 100); do
+    coord_addr=$(sed -n 's/.*ktgcoord listening.*addr=\([^ ]*\).*/\1/p' "$tmp/coord.log" | head -n 1)
+    [ -n "$coord_addr" ] && break
+    kill -0 "$coord_pid" 2>/dev/null || { cat "$tmp/coord.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$coord_addr" ] || { echo "ktgcoord never reported its address"; cat "$tmp/coord.log"; exit 1; }
+
+"$tmp/ktgload" -addr "$coord_addr" -compare-addr "$shard1_addr" \
+    -preset brightkite -scale 0.02 -queries 10 -concurrency 2 -seed 42 -n 2
+
+kill -TERM "$coord_pid"
+wait "$coord_pid"
+coord_pid=""
+grep -q "ktgcoord stopped" "$tmp/coord.log"
+server_pid=$shard2_pid; shard2_pid=""; stop_server
+server_pid=$shard1_pid; shard1_pid=""; stop_server
+
+grep -q '"name":"coord /v1/query"' "$tmp/coord-traces.jsonl"
+grep -q '"name":"server /v1/query/partial"' "$tmp/shard-traces.jsonl"
+ctid=$(sed -n 's/.*"traceId":"\([0-9a-f]\{32\}\)".*/\1/p' "$tmp/coord-traces.jsonl" | head -n 1)
+[ -n "$ctid" ]
+grep -q "$ctid" "$tmp/shard-traces.jsonl"
 
 echo "verify: ok"
