@@ -10,10 +10,17 @@
 // preset generator is deterministic, so keyword ids line up), or
 // replayed from a file written by workload.SaveQueries.
 //
+// With -mutate-rate the replay becomes a mixed read/write stream:
+// that fraction of operations are POST /v1/edges batches (generated
+// against a local mirror of the server's graph so every op is
+// effective), and the report adds mutation latency quantiles, applied/
+// ignored counts, the highest epoch reached, and epoch-skew retries.
+//
 // Usage:
 //
 //	ktgload -addr 127.0.0.1:8080 -preset brightkite -scale 0.02 -queries 50
 //	ktgload -addr :8080 -replay queries.txt -concurrency 8 -hedge-delay 25ms
+//	ktgload -addr :8080 -mutate-rate 0.3 -mutate-batch 8
 //
 // Exit status is non-zero if any query is lost (no answer within
 // -patience) or any answer is malformed (wrong group size, covered
@@ -26,6 +33,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -62,11 +71,19 @@ func main() {
 		verbose     = flag.Bool("v", false, "log every query result")
 		traceExport = flag.String("trace-export", "", "append the client-side trace of every query (attempts, hedges, retries) to this file as OTLP/JSON lines")
 		compareAddr = flag.String("compare-addr", "", "also run every query against this second endpoint and require identical groups (scatter-gather verification)")
+		mutateRate  = flag.Float64("mutate-rate", 0, "fraction of operations that are edge-mutation batches instead of queries (requires the server to run -mutable)")
+		mutateBatch = flag.Int("mutate-batch", 8, "edge ops per mutation batch when -mutate-rate > 0")
 	)
 	flag.Parse()
 	cliutil.MustScale("ktgload", *scale)
 	if *queries <= 0 || *concurrency <= 0 {
 		cliutil.BadUsage("ktgload", "-queries and -concurrency must be positive")
+	}
+	if *mutateRate < 0 || *mutateRate > 1 {
+		cliutil.BadUsage("ktgload", "-mutate-rate must be in [0,1]")
+	}
+	if *mutateRate > 0 && *mutateBatch <= 0 {
+		cliutil.BadUsage("ktgload", "-mutate-batch must be positive")
 	}
 	if *diverse && *topN <= 0 {
 		*topN = workload.DefaultParams.N
@@ -74,10 +91,29 @@ func main() {
 
 	base := normalizeBase(*addr)
 
-	kwSets, err := buildWorkload(*replayPath, *preset, *scale, *seed, *queries, *kwCount)
+	kwSets, ds, err := buildWorkload(*replayPath, *preset, *scale, *seed, *queries, *kwCount)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ktgload: %v\n", err)
 		os.Exit(1)
+	}
+
+	// -mutate-rate turns the replay into a mixed read/write stream: a
+	// seeded coin flip marks some operation slots as edge-mutation
+	// batches. The Mutator mirrors the server's regenerated graph so
+	// every generated op is effective (inserts pick absent edges,
+	// deletes pick present ones) — the stream exercises real epoch
+	// churn instead of degenerating into ignored duplicates.
+	var (
+		mut        *workload.Mutator
+		isMutation []bool
+	)
+	if *mutateRate > 0 {
+		mut = workload.NewMutator(ds.Graph, *seed+2)
+		opRand := rand.New(rand.NewSource(*seed + 3))
+		isMutation = make([]bool, len(kwSets))
+		for i := range isMutation {
+			isMutation[i] = opRand.Float64() < *mutateRate
+		}
 	}
 
 	cl, err := client.New(client.Config{
@@ -140,6 +176,8 @@ func main() {
 		idx      int
 		latency  time.Duration
 		resp     *client.Response
+		mresp    *client.MutationResponse
+		mutation bool
 		traceID  string
 		err      error
 		mismatch string
@@ -156,6 +194,42 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if isMutation != nil && isMutation[i] {
+					batch := mut.Batch(*mutateBatch, 0.5)
+					mreq := &client.MutationRequest{
+						Dataset: *preset,
+						Edges:   make([]client.EdgeOp, len(batch)),
+					}
+					for j, op := range batch {
+						name := "delete"
+						if op.Insert {
+							name = "insert"
+						}
+						mreq.Edges[j] = client.EdgeOp{Op: name, U: int64(op.U), V: int64(op.V)}
+					}
+					t0 := time.Now()
+					mctx, mspan := obs.StartSpan(baseCtx, "ktgload mutate")
+					mspan.SetAttr("query_index", strconv.Itoa(i))
+					mresp, err := mutateWithPatience(mctx, cl, mreq, *patience)
+					if err != nil {
+						mspan.SetError(err.Error())
+					}
+					mspan.End()
+					r := result{idx: i, latency: time.Since(t0), mresp: mresp, mutation: true, traceID: mspan.TraceID(), err: err}
+					mu.Lock()
+					results[i] = r
+					mu.Unlock()
+					if *verbose {
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "ktgload: mutation %d LOST after %v (trace %s): %v\n",
+								i, r.latency, r.traceID, err)
+						} else {
+							fmt.Fprintf(os.Stderr, "ktgload: mutation %d ok in %v (epoch=%d applied=%d ignored=%d request_id=%s)\n",
+								i, r.latency, mresp.Epoch, mresp.Applied, mresp.Ignored, mresp.RequestID)
+						}
+					}
+					continue
+				}
 				req := &client.Request{
 					Dataset:   *preset,
 					Keywords:  kwSets[i],
@@ -200,11 +274,25 @@ func main() {
 
 	lost, malformed, mismatched := 0, 0, 0
 	latencies := make([]time.Duration, 0, len(results))
+	var ms mutationSummary
 	for i, r := range results {
 		if r.err != nil {
 			lost++
-			fmt.Fprintf(os.Stderr, "ktgload: LOST query %d (keywords %v, trace %s): %v\n",
-				i, kwSets[i], r.traceID, r.err)
+			if r.mutation {
+				fmt.Fprintf(os.Stderr, "ktgload: LOST mutation %d (trace %s): %v\n", i, r.traceID, r.err)
+			} else {
+				fmt.Fprintf(os.Stderr, "ktgload: LOST query %d (keywords %v, trace %s): %v\n",
+					i, kwSets[i], r.traceID, r.err)
+			}
+			continue
+		}
+		if r.mutation {
+			ms.latencies = append(ms.latencies, r.latency)
+			ms.applied += r.mresp.Applied
+			ms.ignored += r.mresp.Ignored
+			if r.mresp.Epoch > ms.maxEpoch {
+				ms.maxEpoch = r.mresp.Epoch
+			}
 			continue
 		}
 		latencies = append(latencies, r.latency)
@@ -219,6 +307,9 @@ func main() {
 	}
 
 	report(os.Stdout, elapsed, latencies, cl.Stats(), lost, malformed, len(kwSets))
+	if mut != nil {
+		ms.report(os.Stdout, cl.Stats())
+	}
 	if cmpCl != nil {
 		fmt.Fprintf(os.Stdout, "  compare  endpoint=%s mismatches=%d\n", cmpCl.Target(), mismatched)
 	}
@@ -274,32 +365,34 @@ func compareAnswers(ctx context.Context, cl *client.Client, req *client.Request,
 // buildWorkload produces the query keyword-name sets: replayed from a
 // file, or sampled from a local regeneration of the server's preset
 // (gen.GeneratePreset is deterministic, so the vocabulary matches).
-func buildWorkload(replayPath, preset string, scale float64, seed int64, queries, kwCount int) ([][]string, error) {
+// The regenerated dataset is returned too so -mutate-rate can mirror
+// the server's graph.
+func buildWorkload(replayPath, preset string, scale float64, seed int64, queries, kwCount int) ([][]string, *gen.Dataset, error) {
 	ds, err := gen.GeneratePreset(preset, scale)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	g := workload.NewGenerator(ds, seed)
 	var sets [][]string
 	if replayPath != "" {
 		f, err := os.Open(replayPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer f.Close()
 		batch, err := workload.LoadQueries(f)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, ids := range batch {
 			sets = append(sets, g.KeywordNames(ids))
 		}
-		return sets, nil
+		return sets, ds, nil
 	}
 	for _, ids := range g.Batch(queries, kwCount) {
 		sets = append(sets, g.KeywordNames(ids))
 	}
-	return sets, nil
+	return sets, ds, nil
 }
 
 // waitHealthy polls /healthz briefly so a freshly exec'd server does
@@ -353,6 +446,61 @@ func runWithPatience(ctx context.Context, cl *client.Client, req *client.Request
 			}
 		}
 	}
+}
+
+// mutateWithPatience keeps re-sending one edge batch until it lands or
+// the patience budget expires. Re-sending is safe: edge ops are
+// idempotent, so a batch that already applied re-applies as all-ignored
+// without minting another epoch. Structured 4xx rejections fail fast —
+// the identical batch can never succeed, so retrying it would only hide
+// a contract bug.
+func mutateWithPatience(ctx context.Context, cl *client.Client, req *client.MutationRequest, patience time.Duration) (*client.MutationResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, patience)
+	defer cancel()
+	var lastErr error
+	for {
+		resp, err := cl.MutateEdges(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Status < 500 && apiErr.Status != http.StatusTooManyRequests {
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("patience %v exhausted: %w", patience, lastErr)
+		}
+		if errors.Is(err, client.ErrCircuitOpen) {
+			select {
+			case <-time.After(250 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("patience %v exhausted: %w", patience, lastErr)
+			}
+		}
+	}
+}
+
+// mutationSummary aggregates the write half of a mixed replay.
+type mutationSummary struct {
+	latencies []time.Duration
+	applied   int
+	ignored   int
+	maxEpoch  uint64
+}
+
+func (ms *mutationSummary) report(w *os.File, st client.Stats) {
+	sort.Slice(ms.latencies, func(i, j int) bool { return ms.latencies[i] < ms.latencies[j] })
+	q := func(p float64) time.Duration {
+		if len(ms.latencies) == 0 {
+			return 0
+		}
+		return ms.latencies[int(p*float64(len(ms.latencies)-1))]
+	}
+	fmt.Fprintf(w, "  mutation n=%d p50=%v p95=%v p99=%v applied=%d ignored=%d max_epoch=%d epoch_skew_retries=%d\n",
+		len(ms.latencies),
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(0.99).Round(time.Microsecond),
+		ms.applied, ms.ignored, ms.maxEpoch, st.EpochSkewRetries)
 }
 
 // validate checks structural well-formedness of an answer: group sizes

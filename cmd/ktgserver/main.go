@@ -93,6 +93,7 @@ func main() {
 		attrs        = flag.String("attrs", "", "keyword attribute file (with -edges)")
 		dsName       = flag.String("dataset-name", "dataset", "name for the file-backed dataset")
 		indexKind    = flag.String("index", "nlrnl", "shared distance index per dataset: bfs, nl, nlrnl")
+		mutable      = flag.Bool("mutable", false, "serve datasets in live-mutation mode: POST /v1/edges applies edge batches via epoch-swapped copy-on-write (bfs, nl, nlrnl indexes)")
 		snapshots    = flag.String("snapshots", "", "directory for index snapshots: load on startup when valid, rebuild and re-save otherwise (empty = always build in memory)")
 		degradeWait  = flag.Duration("degrade-wait", 500*time.Millisecond, "queue wait beyond which exact searches degrade to greedy (negative disables)")
 		workers      = flag.Int("workers", 0, "max concurrent searches (0 = GOMAXPROCS)")
@@ -191,14 +192,14 @@ func main() {
 		if err != nil {
 			fatal(logger, err)
 		}
-		datasets = append(datasets, prepare(logger, name, nw, *indexKind, *snapshots))
+		datasets = append(datasets, prepare(logger, name, nw, *indexKind, *snapshots, *mutable))
 	}
 	if *edges != "" {
 		nw, err := loadNetwork(*edges, *attrs)
 		if err != nil {
 			fatal(logger, err)
 		}
-		datasets = append(datasets, prepare(logger, *dsName, nw, *indexKind, *snapshots))
+		datasets = append(datasets, prepare(logger, *dsName, nw, *indexKind, *snapshots, *mutable))
 	}
 
 	srv, err := server.New(server.Config{
@@ -287,8 +288,11 @@ func main() {
 // snapshot directory the index is loaded from
 // <dir>/<dataset>.<kind>.snap when that file is valid for this graph,
 // and rebuilt + re-saved crash-atomically otherwise — a corrupt or
-// stale snapshot costs a rebuild, never a failed startup.
-func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapDir string) *server.Dataset {
+// stale snapshot costs a rebuild, never a failed startup. mutable wraps
+// the network + index into a ktg.LiveNetwork so POST /v1/edges can
+// publish new epochs; ownership of the index transfers to the live
+// handle, searches resolve it through the current epoch's view.
+func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapDir string, mutable bool) *server.Dataset {
 	nw.SetLogger(logger)
 	ds := &server.Dataset{Name: name, Network: nw}
 	start := time.Now()
@@ -302,8 +306,9 @@ func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapD
 	}
 	switch {
 	case indexKind == "bfs":
+		liveWrap(logger, ds, mutable)
 		logger.Info("dataset ready", "dataset", name, "index", "BFS (per-search)",
-			"vertices", nw.NumVertices(), "edges", nw.NumEdges())
+			"mutable", mutable, "vertices", nw.NumVertices(), "edges", nw.NumEdges())
 		return ds
 	case indexKind == "nl" && snapPath != "":
 		ds.Index, out, err = nw.LoadOrBuildNL(snapPath, 0)
@@ -321,10 +326,24 @@ func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapD
 		logger.Info("index snapshot outcome", "dataset", name, "path", snapPath,
 			"reason", out.Reason, "loaded", out.Loaded, "resaved", out.Saved)
 	}
+	liveWrap(logger, ds, mutable)
 	logger.Info("dataset ready", "dataset", name, "index", ds.Index.Name(),
-		"build", time.Since(start).Round(time.Millisecond),
+		"build", time.Since(start).Round(time.Millisecond), "mutable", mutable,
 		"vertices", nw.NumVertices(), "edges", nw.NumEdges())
 	return ds
+}
+
+// liveWrap makes the dataset mutable when requested; an index without
+// dynamic maintenance is a configuration error, caught at startup.
+func liveWrap(logger *slog.Logger, ds *server.Dataset, mutable bool) {
+	if !mutable {
+		return
+	}
+	live, err := ktg.NewLiveNetwork(ds.Network, ds.Index)
+	if err != nil {
+		fatal(logger, err)
+	}
+	ds.Live = live
 }
 
 func loadNetwork(edges, attrs string) (*ktg.Network, error) {

@@ -26,4 +26,11 @@
 // with SearchOptions.Algorithm), the DKTG-Greedy diversified search
 // (Network.SearchDiverse), the brute-force reference, and the NL / NLRNL
 // social-distance indexes with persistence and dynamic edge updates.
+//
+// For serving, LiveNetwork makes edge updates safe under concurrent
+// searches: ApplyEdges maintains a private copy-on-write replica of the
+// graph + index (§V-B incremental rules) and publishes each batch as a
+// new immutable epoch via an atomic pointer swap, so searches always
+// read one consistent epoch and readers never block on writers. This is
+// the model behind the query server's POST /v1/edges endpoint.
 package ktg

@@ -59,6 +59,61 @@ func ExampleNetwork_SearchDiverse() {
 	// Output: 2 1
 }
 
+// ExampleLiveNetwork mutates a served network the way POST /v1/edges
+// does: each batch publishes a new epoch while searches keep reading the
+// epoch they resolved.
+func ExampleLiveNetwork() {
+	b := ktg.NewBuilder(0)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).AddEdge(3, 4)
+	b.SetKeywords(0, "databases")
+	b.SetKeywords(4, "systems")
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	liveNet, err := ktg.NewLiveNetwork(net, idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Resolve one epoch and search it: 0 and 4 are 4 hops apart, a
+	// valid 1-tenuous pair.
+	v := liveNet.View()
+	res, err := v.Network.Search(ktg.Query{
+		Keywords: []string{"databases", "systems"}, GroupSize: 2, Tenuity: 1, TopN: 1,
+	}, ktg.SearchOptions{Index: v.Index})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("epoch", v.Epoch, res.Groups[0].Members)
+
+	// A shortcut edge (the wire body {"op":"insert","u":0,"v":4})
+	// publishes epoch 2; the pair is no longer tenuous there.
+	mut, err := liveNet.ApplyEdges([]ktg.EdgeOp{{Insert: true, U: 0, V: 4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2 := liveNet.View()
+	res2, err := v2.Network.Search(ktg.Query{
+		Keywords: []string{"databases", "systems"}, GroupSize: 2, Tenuity: 1, TopN: 1,
+	}, ktg.SearchOptions{Index: v2.Index})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("epoch", mut.Epoch, "applied", mut.Applied, "groups", len(res2.Groups))
+
+	// The old epoch still answers exactly as before the mutation.
+	fmt.Println("old epoch still sees", v.Network.NumEdges(), "edges")
+	// Output:
+	// epoch 1 [0 4]
+	// epoch 2 applied 1 groups 0
+	// old epoch still sees 4 edges
+}
+
 // ExampleNetwork_AuditTenuity audits an arbitrary member set.
 func ExampleNetwork_AuditTenuity() {
 	b := ktg.NewBuilder(4)

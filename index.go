@@ -14,10 +14,18 @@ import (
 // Network.BuildPLL) answer Within from immutable or pooled state, so a
 // single instance may be shared by concurrent searches — the query
 // server relies on this. Exceptions: NLRNLIndex.InsertEdge/RemoveEdge
-// mutate the index and must not run concurrently with queries, and the
-// index-free Network.NewBFSIndex keeps per-instance traversal scratch,
-// so give each goroutine its own (or leave SearchOptions.Index nil,
-// which allocates a private BFS oracle per search).
+// mutate the index in place and must not run concurrently with queries
+// (use them only on an index no search is reading — e.g. offline
+// maintenance of a snapshot), and the index-free Network.NewBFSIndex
+// keeps per-instance traversal scratch, so give each goroutine its own
+// (or leave SearchOptions.Index nil, which allocates a private BFS
+// oracle per search).
+//
+// To mutate a *served* dataset, wrap network + index in a LiveNetwork
+// instead: ApplyEdges applies each batch to a private copy-on-write
+// replica and publishes it as the next epoch via an atomic pointer swap
+// (the model behind the server's POST /v1/edges), so concurrent searches
+// keep reading the epoch they resolved and never block on writers.
 type DistanceIndex interface {
 	Within(u, v Vertex, k int) bool
 	Name() string

@@ -137,7 +137,10 @@ type Response struct {
 	Degraded       bool            `json:"degraded,omitempty"`
 	DegradedReason string          `json:"degraded_reason,omitempty"`
 	Stats          ktg.SearchStats `json:"stats"`
-	Cache          string          `json:"cache"`
+	// Epoch is the dataset epoch the answer was computed on (mutable
+	// datasets only; 0 for static datasets).
+	Epoch uint64 `json:"epoch,omitempty"`
+	Cache string `json:"cache"`
 
 	// RequestID echoes the X-Request-Id the winning attempt carried
 	// (stable across every attempt of this call). TraceID is the W3C
@@ -258,12 +261,13 @@ type Stats struct {
 	BudgetExhausted   int64 // retries denied by the retry budget
 	Degraded          int64 // responses marked "degraded": true
 	Partial           int64 // responses marked "partial": true
+	EpochSkewRetries  int64 // retries caused by shard_epoch_skew rejections
 }
 
 type statsCells struct {
 	calls, errs, attempts, retries, hedges, hedgeWins atomic.Int64
 	breakerTrips, breakerRejects, retryAfterHonored   atomic.Int64
-	budgetExhausted, degraded, partial                atomic.Int64
+	budgetExhausted, degraded, partial, epochSkew     atomic.Int64
 }
 
 func statsFrom(cells *statsCells) Stats {
@@ -280,6 +284,7 @@ func statsFrom(cells *statsCells) Stats {
 		BudgetExhausted:   cells.budgetExhausted.Load(),
 		Degraded:          cells.degraded.Load(),
 		Partial:           cells.partial.Load(),
+		EpochSkewRetries:  cells.epochSkew.Load(),
 	}
 }
 
@@ -298,7 +303,7 @@ func (p pairCounter) Add(n int64) {
 type statsPairs struct {
 	calls, errs, attempts, retries, hedges, hedgeWins pairCounter
 	breakerTrips, breakerRejects, retryAfterHonored   pairCounter
-	budgetExhausted, degraded, partial                pairCounter
+	budgetExhausted, degraded, partial, epochSkew     pairCounter
 }
 
 func pairStats(own, target *statsCells) statsPairs {
@@ -315,6 +320,7 @@ func pairStats(own, target *statsCells) statsPairs {
 		budgetExhausted:   pairCounter{&own.budgetExhausted, &target.budgetExhausted},
 		degraded:          pairCounter{&own.degraded, &target.degraded},
 		partial:           pairCounter{&own.partial, &target.partial},
+		epochSkew:         pairCounter{&own.epochSkew, &target.epochSkew},
 	}
 }
 
@@ -422,7 +428,7 @@ func (c *Client) Target() string {
 // Query runs one KTG search (POST /v1/query) with the full retry
 // pipeline.
 func (c *Client) Query(ctx context.Context, req *Request) (*Response, error) {
-	out, err := c.do(ctx, "/v1/query", req, func() wireBody { return new(Response) })
+	out, err := c.do(ctx, "/v1/query", req, true, func() wireBody { return new(Response) })
 	if err != nil {
 		return nil, err
 	}
@@ -431,7 +437,7 @@ func (c *Client) Query(ctx context.Context, req *Request) (*Response, error) {
 
 // Diverse runs one DKTG diverse search (POST /v1/diverse).
 func (c *Client) Diverse(ctx context.Context, req *Request) (*Response, error) {
-	out, err := c.do(ctx, "/v1/diverse", req, func() wireBody { return new(Response) })
+	out, err := c.do(ctx, "/v1/diverse", req, true, func() wireBody { return new(Response) })
 	if err != nil {
 		return nil, err
 	}
@@ -460,9 +466,12 @@ func (c *Client) Health(ctx context.Context) error {
 
 // do is the shared logical-call pipeline: breaker gate → attempt loop
 // with per-attempt timeout and optional hedging → classify → backoff /
-// Retry-After pacing → typed error or response.
-func (c *Client) do(ctx context.Context, path string, req *Request, newBody func() wireBody) (resp wireBody, err error) {
-	body, err := json.Marshal(req)
+// Retry-After pacing → typed error or response. hedgeable gates the
+// hedging stage per endpoint: searches are idempotent reads and may
+// hedge, mutations must not (a hedge's losing leg still applies and
+// would publish a spurious extra epoch).
+func (c *Client) do(ctx context.Context, path string, payload any, hedgeable bool, newBody func() wireBody) (resp wireBody, err error) {
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
@@ -502,7 +511,7 @@ func (c *Client) do(ctx context.Context, path string, req *Request, newBody func
 			return nil, c.fail(err)
 		}
 		attempts++
-		resp, hedged, aerr := c.attempt(ctx, path, body, reqID, newBody)
+		resp, hedged, aerr := c.attempt(ctx, path, body, reqID, hedgeable, newBody)
 		c.br.record(breakerSuccess(aerr), probe, time.Now())
 		if aerr == nil {
 			c.budget.credit()
@@ -548,6 +557,12 @@ func (c *Client) do(ctx context.Context, path string, req *Request, newBody func
 		}
 		mRetries.Inc()
 		c.st.retries.Add(1)
+		if errors.As(aerr, &apiErr) && apiErr.Code == "shard_epoch_skew" {
+			// The coordinator caught its shards mid-mutation on different
+			// epochs; the retry usually lands after they converge.
+			mEpochSkewRetries.Inc()
+			c.st.epochSkew.Add(1)
+		}
 		if c.logger != nil {
 			c.logger.Debug("retrying query", "path", path, "attempt", attempts,
 				"delay", delay, "request_id", reqID, "err", aerr)
@@ -591,12 +606,13 @@ func retryableError(err error) bool {
 	return true
 }
 
-// attempt performs one bounded attempt, hedged when configured. The
-// bool result reports whether a hedge produced the answer.
-func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID string, newBody func() wireBody) (wireBody, bool, error) {
+// attempt performs one bounded attempt, hedged when configured and the
+// endpoint allows it. The bool result reports whether a hedge produced
+// the answer.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID string, hedgeable bool, newBody func() wireBody) (wireBody, bool, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
-	if c.cfg.HedgeDelay <= 0 {
+	if c.cfg.HedgeDelay <= 0 || !hedgeable {
 		resp, err := c.roundTrip(actx, path, body, reqID, false, newBody)
 		return resp, false, err
 	}

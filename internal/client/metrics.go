@@ -35,4 +35,6 @@ var (
 		"ktg_client_partial_results_total", "accepted responses the server marked partial")
 	mLatency = obs.Default().Histogram(
 		"ktg_client_call_latency_ns", "logical call latency in nanoseconds, retries and backoff included")
+	mEpochSkewRetries = obs.Default().Counter(
+		"ktg_client_epoch_skew_retries_total", "retries caused by shard_epoch_skew rejections from the coordinator")
 )

@@ -35,6 +35,10 @@ type PartialResponse struct {
 	Partial       bool            `json:"partial,omitempty"`
 	PartialReason string          `json:"partial_reason,omitempty"`
 	Stats         ktg.SearchStats `json:"stats"`
+	// Epoch is the dataset epoch the slice was computed on (mutable
+	// datasets only). The coordinator compares it across shards before
+	// merging.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	// Client-filled call metadata, as on Response.
 	RequestID string `json:"-"`
@@ -85,7 +89,7 @@ func (p *PartialResponse) PartialResult() *ktg.PartialResult {
 // slice selected by req.SliceIndex/req.SliceCount) with the full retry
 // pipeline — breaker, backoff, Retry-After, hedging, retry budget.
 func (c *Client) QueryPartial(ctx context.Context, req *Request) (*PartialResponse, error) {
-	out, err := c.do(ctx, "/v1/query/partial", req, func() wireBody { return new(PartialResponse) })
+	out, err := c.do(ctx, "/v1/query/partial", req, true, func() wireBody { return new(PartialResponse) })
 	if err != nil {
 		return nil, err
 	}

@@ -288,6 +288,20 @@ func (m *Mutable) removeHalf(u, v Vertex) bool {
 	return true
 }
 
+// Clone returns a deep copy of the Mutable graph. The copy shares no
+// storage with the original: AddEdge/RemoveEdge shift neighbor slices in
+// place, so the clone must own its adjacency outright to be mutated
+// independently (the double-buffered live-serving layer relies on this).
+func (m *Mutable) Clone() *Mutable {
+	c := &Mutable{adj: make([][]Vertex, len(m.adj)), edges: m.edges}
+	for v, ns := range m.adj {
+		if len(ns) > 0 {
+			c.adj[v] = append([]Vertex(nil), ns...)
+		}
+	}
+	return c
+}
+
 // Freeze converts the Mutable graph into an immutable CSR Graph.
 func (m *Mutable) Freeze() *Graph {
 	b := NewBuilder(len(m.adj))

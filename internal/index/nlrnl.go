@@ -28,8 +28,12 @@ import (
 //
 // Within and Distance only read the built lists, so any number of
 // goroutines may query one NLRNL concurrently. InsertEdge / RemoveEdge
-// mutate the index and must not run concurrently with queries or each
-// other.
+// mutate the index in place and must not run concurrently with queries
+// or each other; live serving therefore never mutates a published NLRNL.
+// Instead the epoch layer (internal/live) Clones the current index,
+// applies a batch to the private copy, and publishes the copy with an
+// atomic pointer swap — readers keep querying the old epoch and never
+// block on writers.
 type NLRNL struct {
 	g      *graph.Mutable
 	comp   []int32
@@ -257,8 +261,18 @@ func (x *NLRNL) Entries() int64 {
 // unreachable treated as infinity) are rebuilt. It reports whether the
 // edge was new.
 func (x *NLRNL) InsertEdge(u, v graph.Vertex) bool {
-	if u == v || x.g.HasEdge(u, v) {
-		return false
+	ok, _ := x.InsertEdgeAffected(u, v)
+	return ok
+}
+
+// InsertEdgeAffected is InsertEdge returning the set of vertices whose
+// lists were rebuilt — exactly the vertices whose distance vector may
+// have changed, which is what the serving layer needs for result-cache
+// invalidation scoped to the mutation. The slice is nil when the edge
+// already existed.
+func (x *NLRNL) InsertEdgeAffected(u, v graph.Vertex) (bool, []graph.Vertex) {
+	if u == v || int(u) >= len(x.c) || int(v) >= len(x.c) || x.g.HasEdge(u, v) {
+		return false, nil
 	}
 	n := len(x.c)
 	tr := graph.NewTraverser(n)
@@ -266,14 +280,16 @@ func (x *NLRNL) InsertEdge(u, v graph.Vertex) bool {
 	dv := tr.AllDistances(x.g, v, nil)
 	x.g.AddEdge(u, v)
 
+	var affected []graph.Vertex
 	dist := make([]int32, n)
 	for a := 0; a < n; a++ {
 		if insertAffected(du[a], dv[a]) {
 			x.buildVertex(graph.Vertex(a), tr, dist)
+			affected = append(affected, graph.Vertex(a))
 		}
 	}
 	x.comp, _ = graph.Components(x.g)
-	return true
+	return true, affected
 }
 
 // insertAffected reports whether a vertex with pre-insertion distances
@@ -298,8 +314,16 @@ func insertAffected(da, db int32) bool {
 // the edge (|dist(a,u) - dist(a,v)| == 1 before the deletion) are
 // rebuilt. It reports whether the edge existed.
 func (x *NLRNL) RemoveEdge(u, v graph.Vertex) bool {
-	if u == v || !x.g.HasEdge(u, v) {
-		return false
+	ok, _ := x.RemoveEdgeAffected(u, v)
+	return ok
+}
+
+// RemoveEdgeAffected is RemoveEdge returning the set of vertices whose
+// lists were rebuilt (see InsertEdgeAffected). The slice is nil when the
+// edge did not exist.
+func (x *NLRNL) RemoveEdgeAffected(u, v graph.Vertex) (bool, []graph.Vertex) {
+	if u == v || int(u) >= len(x.c) || int(v) >= len(x.c) || !x.g.HasEdge(u, v) {
+		return false, nil
 	}
 	n := len(x.c)
 	tr := graph.NewTraverser(n)
@@ -307,6 +331,7 @@ func (x *NLRNL) RemoveEdge(u, v graph.Vertex) bool {
 	dv := tr.AllDistances(x.g, v, nil)
 	x.g.RemoveEdge(u, v)
 
+	var affected []graph.Vertex
 	dist := make([]int32, n)
 	for a := 0; a < n; a++ {
 		da, db := du[a], dv[a]
@@ -315,11 +340,32 @@ func (x *NLRNL) RemoveEdge(u, v graph.Vertex) bool {
 		}
 		if da-db == 1 || db-da == 1 {
 			x.buildVertex(graph.Vertex(a), tr, dist)
+			affected = append(affected, graph.Vertex(a))
 		}
 	}
 	x.comp, _ = graph.Components(x.g)
-	return true
+	return true, affected
+}
+
+// Clone returns a copy of the index that can be mutated independently of
+// the original. The underlying graph is deep-copied; the per-vertex
+// forward/reverse lists are shared copy-on-write — buildVertex always
+// replaces a vertex's lists wholesale and never edits them in place, so
+// mutating the clone rebuilds (and thereby unshares) exactly the affected
+// vertices while readers of the original keep seeing its old lists.
+func (x *NLRNL) Clone() *NLRNL {
+	return &NLRNL{
+		g:      x.g.Clone(),
+		comp:   append([]int32(nil), x.comp...),
+		c:      append([]int32(nil), x.c...),
+		fwd:    append([][][]graph.Vertex(nil), x.fwd...),
+		rev:    append([][][]graph.Vertex(nil), x.rev...),
+		tracer: x.tracer,
+	}
 }
 
 // Graph exposes the indexed topology (read-only use).
 func (x *NLRNL) Graph() graph.Topology { return x.g }
+
+// FreezeGraph snapshots the indexed topology as an immutable CSR graph.
+func (x *NLRNL) FreezeGraph() *graph.Graph { return x.g.Freeze() }

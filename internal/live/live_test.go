@@ -1,0 +1,260 @@
+package live
+
+import (
+	"math/rand"
+	"testing"
+
+	"ktg/internal/graph"
+	"ktg/internal/index"
+)
+
+// randomGraph builds a connected-ish random graph deterministically.
+func randomGraph(n, m int, seed int64) *graph.Mutable {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.NewMutable(n)
+	for v := 1; v < n; v++ { // spanning backbone keeps most pairs reachable
+		g.AddEdge(graph.Vertex(v), graph.Vertex(r.Intn(v)))
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n)))
+	}
+	return g
+}
+
+func randomOps(n, count int, seed int64) []EdgeOp {
+	r := rand.New(rand.NewSource(seed))
+	ops := make([]EdgeOp, count)
+	for i := range ops {
+		ops[i] = EdgeOp{
+			Insert: r.Intn(2) == 0,
+			U:      graph.Vertex(r.Intn(n)),
+			V:      graph.Vertex(r.Intn(n)),
+		}
+	}
+	return ops
+}
+
+func newNLRNLManager(t *testing.T, g *graph.Mutable) *Manager {
+	t.Helper()
+	x, err := index.BuildNLRNL(g)
+	if err != nil {
+		t.Fatalf("BuildNLRNL: %v", err)
+	}
+	return NewManager(NewNLRNLReplica(x))
+}
+
+func TestManagerEpochSemantics(t *testing.T) {
+	g := randomGraph(30, 40, 1)
+	m := newNLRNLManager(t, g)
+	if got := m.Epoch(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+
+	// A batch that changes nothing must not bump the epoch.
+	v0 := m.Current()
+	existing := EdgeOp{Insert: true, U: v0.Graph.Neighbors(0)[0], V: 0}
+	res, err := m.Apply([]EdgeOp{existing, {Insert: false, U: 1, V: 1}})
+	if err != nil {
+		t.Fatalf("Apply no-op: %v", err)
+	}
+	if res.Swapped || res.Epoch != 1 || res.Applied != 0 || res.Ignored != 2 {
+		t.Fatalf("no-op batch: %+v", res)
+	}
+	if m.Current() != v0 {
+		t.Fatal("no-op batch replaced the view")
+	}
+
+	// An effective batch bumps by exactly one and publishes a new view.
+	var u, w graph.Vertex
+	found := false
+	for u = 0; int(u) < g.NumVertices() && !found; u++ {
+		for w = u + 2; int(w) < g.NumVertices(); w++ {
+			if !v0.Graph.HasEdge(u, w) {
+				found = true
+				break
+			}
+		}
+	}
+	u-- // undo loop increment after break
+	if !found {
+		t.Fatal("no missing edge in test graph")
+	}
+	res, err = m.Apply([]EdgeOp{{Insert: true, U: u, V: w}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !res.Swapped || res.Epoch != 2 || res.Applied != 1 {
+		t.Fatalf("effective batch: %+v", res)
+	}
+	v1 := m.Current()
+	if v1 == v0 || v1.Epoch != 2 {
+		t.Fatalf("view not swapped: epoch %d", v1.Epoch)
+	}
+	if !v1.Graph.HasEdge(u, w) {
+		t.Fatal("new view misses inserted edge")
+	}
+	// Old view must be untouched (clone isolation).
+	if v0.Graph.HasEdge(u, w) {
+		t.Fatal("old view mutated in place")
+	}
+	if len(res.Affected) == 0 {
+		t.Fatal("effective insert reported no affected vertices")
+	}
+}
+
+// TestCloneIsolationNLRNL pins the copy-on-write contract: distance
+// answers from an old epoch's replica must not change while later epochs
+// mutate their clones.
+func TestCloneIsolationNLRNL(t *testing.T) {
+	const n = 40
+	g := randomGraph(n, 50, 2)
+	m := newNLRNLManager(t, g)
+	v0 := m.Current()
+	x0 := v0.Replica.(*NLRNLReplica).X
+
+	// Record epoch-1 distances.
+	before := make([]int, 0, n*n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			before = append(before, x0.Distance(graph.Vertex(u), graph.Vertex(v)))
+		}
+	}
+	for round := 0; round < 5; round++ {
+		if _, err := m.Apply(randomOps(n, 4, int64(round+10))); err != nil {
+			t.Fatalf("Apply round %d: %v", round, err)
+		}
+	}
+	i := 0
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if got := x0.Distance(graph.Vertex(u), graph.Vertex(v)); got != before[i] {
+				t.Fatalf("epoch-1 distance(%d,%d) changed from %d to %d after later mutations",
+					u, v, before[i], got)
+			}
+			i++
+		}
+	}
+}
+
+// TestReplicaConsistency drives every replica kind through the same
+// random op sequence and checks each published epoch's distance answers
+// against a fresh BFS over the frozen snapshot.
+func TestReplicaConsistency(t *testing.T) {
+	const n = 36
+	base := randomGraph(n, 45, 3)
+	ops := randomOps(n, 60, 4)
+
+	mk := map[string]func() *Manager{
+		"nlrnl": func() *Manager {
+			x, err := index.BuildNLRNL(base.Clone())
+			if err != nil {
+				t.Fatalf("BuildNLRNL: %v", err)
+			}
+			return NewManager(NewNLRNLReplica(x))
+		},
+		"nl": func() *Manager {
+			g := base.Clone()
+			nl, err := index.BuildNL(g, index.NLOptions{H: 2})
+			if err != nil {
+				t.Fatalf("BuildNL: %v", err)
+			}
+			return NewManager(NewNLReplica(g, nl))
+		},
+		"graph": func() *Manager {
+			return NewManager(NewGraphReplica(base.Clone()))
+		},
+	}
+	for name, newManager := range mk {
+		t.Run(name, func(t *testing.T) {
+			m := newManager()
+			for i := 0; i < len(ops); i += 3 {
+				batch := ops[i:min(i+3, len(ops))]
+				if _, err := m.Apply(batch); err != nil {
+					t.Fatalf("Apply: %v", err)
+				}
+				checkView(t, m.Current())
+			}
+		})
+	}
+}
+
+// checkView verifies the view's replica answers agree with plain BFS on
+// the view's frozen graph, for a sample of pairs and bounds.
+func checkView(t *testing.T, v *View) {
+	t.Helper()
+	g := v.Graph
+	n := g.NumVertices()
+	tr := graph.NewTraverser(n)
+	dist := make([]int32, n)
+	for u := 0; u < n; u += 5 {
+		tr.AllDistances(g, graph.Vertex(u), dist)
+		for w := 0; w < n; w += 3 {
+			want := int(dist[w])
+			switch r := v.Replica.(type) {
+			case *NLRNLReplica:
+				if got := r.X.Distance(graph.Vertex(u), graph.Vertex(w)); got != want {
+					t.Fatalf("epoch %d: NLRNL distance(%d,%d) = %d, want %d", v.Epoch, u, w, got, want)
+				}
+			case *NLReplica:
+				for k := 0; k <= 5; k++ {
+					want2 := want >= 0 && want <= k
+					if got := r.NL.Within(graph.Vertex(u), graph.Vertex(w), k); got != want2 {
+						t.Fatalf("epoch %d: NL within(%d,%d,%d) = %v, want %v", v.Epoch, u, w, k, got, want2)
+					}
+				}
+			case *GraphReplica:
+				if u != w && g.HasEdge(graph.Vertex(u), graph.Vertex(w)) != (want == 1) {
+					t.Fatalf("epoch %d: graph edge(%d,%d) disagrees with distance %d", v.Epoch, u, w, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAffectedSuperset asserts the reported affected set covers every
+// vertex whose true distance vector changed — the soundness requirement
+// for mutation-scoped cache invalidation.
+func TestAffectedSuperset(t *testing.T) {
+	const n = 32
+	g := randomGraph(n, 40, 5)
+	m := newNLRNLManager(t, g)
+	r := rand.New(rand.NewSource(6))
+
+	for round := 0; round < 40; round++ {
+		before := m.Current()
+		op := EdgeOp{Insert: r.Intn(2) == 0, U: graph.Vertex(r.Intn(n)), V: graph.Vertex(r.Intn(n))}
+		res, err := m.Apply([]EdgeOp{op})
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		if !res.Swapped {
+			continue
+		}
+		after := m.Current()
+		affected := make(map[graph.Vertex]bool, len(res.Affected))
+		for _, v := range res.Affected {
+			affected[v] = true
+		}
+		trB := graph.NewTraverser(n)
+		trA := graph.NewTraverser(n)
+		db := make([]int32, n)
+		da := make([]int32, n)
+		for a := 0; a < n; a++ {
+			trB.AllDistances(before.Graph, graph.Vertex(a), db)
+			trA.AllDistances(after.Graph, graph.Vertex(a), da)
+			for x := range db {
+				if db[x] != da[x] && !affected[graph.Vertex(a)] {
+					t.Fatalf("round %d op %v: vertex %d distance to %d changed %d->%d but not in affected set %v",
+						round, op, a, x, db[x], da[x], res.Affected)
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

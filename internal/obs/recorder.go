@@ -29,19 +29,22 @@ type RequestRecord struct {
 	ID string `json:"id"`
 	// TraceID deep-links the record to its stored trace
 	// (/debug/traces/{trace_id}); empty when tracing was off.
-	TraceID      string        `json:"trace_id,omitempty"`
-	Endpoint     string        `json:"endpoint"`
-	Dataset      string        `json:"dataset,omitempty"`
-	Algorithm    string        `json:"algorithm,omitempty"`
-	ParamsDigest string        `json:"params_digest,omitempty"`
-	Start        time.Time     `json:"start"`
-	QueueWait    time.Duration `json:"queue_wait_ns"`
-	Duration     time.Duration `json:"duration_ns"`
-	Phases       []SpanRecord  `json:"phases,omitempty"`
-	Stats        any           `json:"stats,omitempty"`
-	Outcome      string        `json:"outcome"`
-	Status       int           `json:"status,omitempty"`
-	Error        string        `json:"error,omitempty"`
+	TraceID      string `json:"trace_id,omitempty"`
+	Endpoint     string `json:"endpoint"`
+	Dataset      string `json:"dataset,omitempty"`
+	Algorithm    string `json:"algorithm,omitempty"`
+	ParamsDigest string `json:"params_digest,omitempty"`
+	// Epoch is the dataset epoch the request was answered from (live
+	// datasets only; 0 = static dataset or not applicable).
+	Epoch     uint64        `json:"epoch,omitempty"`
+	Start     time.Time     `json:"start"`
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	Duration  time.Duration `json:"duration_ns"`
+	Phases    []SpanRecord  `json:"phases,omitempty"`
+	Stats     any           `json:"stats,omitempty"`
+	Outcome   string        `json:"outcome"`
+	Status    int           `json:"status,omitempty"`
+	Error     string        `json:"error,omitempty"`
 }
 
 // InflightRecord is one currently-executing request. The struct is

@@ -124,6 +124,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindCounterVec
+	kindGaugeVec
 	kindHistogramVec
 	kindInfo
 )
@@ -136,6 +137,7 @@ type metric struct {
 	g    *Gauge
 	h    *Histogram
 	cv   *CounterVec
+	gv   *GaugeVec
 	hv   *HistogramVec
 	// info renders as a constant gauge of value 1 whose labels carry
 	// the payload (the ktg_build_info idiom).
@@ -250,6 +252,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					return err
 				}
 			}
+		case kindGaugeVec:
+			if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", m.name); err != nil {
+				return err
+			}
+			for _, child := range m.gv.sortedChildren() {
+				ls := labelString(m.gv.labels, child.values)
+				if _, err = fmt.Fprintf(w, "%s{%s} %d\n", m.name, ls, child.g.Value()); err != nil {
+					return err
+				}
+			}
 		case kindHistogramVec:
 			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
 				return err
@@ -313,6 +325,12 @@ func (r *Registry) Snapshot() map[string]any {
 			series := make(map[string]any)
 			for _, child := range m.cv.sortedChildren() {
 				series[labelString(m.cv.labels, child.values)] = child.c.Value()
+			}
+			out[m.name] = series
+		case kindGaugeVec:
+			series := make(map[string]any)
+			for _, child := range m.gv.sortedChildren() {
+				series[labelString(m.gv.labels, child.values)] = child.g.Value()
 			}
 			out[m.name] = series
 		case kindHistogramVec:

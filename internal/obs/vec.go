@@ -21,6 +21,12 @@ type labeledCounter struct {
 	c      *Counter
 }
 
+// labeledGauge is one child of a GaugeVec.
+type labeledGauge struct {
+	values []string
+	g      *Gauge
+}
+
 // labeledHistogram is one child of a HistogramVec.
 type labeledHistogram struct {
 	values []string
@@ -40,6 +46,22 @@ type CounterVec struct {
 func (v *CounterVec) With(values ...string) *Counter {
 	return lookupChild(&v.mu, v.byKey, v.name, v.labels, values,
 		func(vals []string) *labeledCounter { return &labeledCounter{values: vals, c: &Counter{}} }).c
+}
+
+// GaugeVec is a family of gauges distinguished by label values (e.g. one
+// serving epoch per dataset).
+type GaugeVec struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	byKey  map[string]*labeledGauge
+}
+
+// With returns the child gauge for the given label values, creating it
+// on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return lookupChild(&v.mu, v.byKey, v.name, v.labels, values,
+		func(vals []string) *labeledGauge { return &labeledGauge{values: vals, g: &Gauge{}} }).g
 }
 
 // HistogramVec is a family of histograms distinguished by label values.
@@ -88,6 +110,13 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return m.cv
 }
 
+// GaugeVec returns the gauge family registered under name with the
+// given label names, creating it on first use.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	m := r.lookupVec(name, help, kindGaugeVec, labels)
+	return m.gv
+}
+
 // HistogramVec returns the histogram family registered under name with
 // the given label names, creating it on first use.
 func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
@@ -104,9 +133,12 @@ func (r *Registry) lookupVec(name, help string, kind metricKind, labels []string
 			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
 		}
 		var have []string
-		if kind == kindCounterVec {
+		switch kind {
+		case kindCounterVec:
 			have = m.cv.labels
-		} else {
+		case kindGaugeVec:
+			have = m.gv.labels
+		default:
 			have = m.hv.labels
 		}
 		if strings.Join(have, ",") != strings.Join(labels, ",") {
@@ -131,6 +163,8 @@ func (r *Registry) lookupVec(name, help string, kind metricKind, labels []string
 	switch kind {
 	case kindCounterVec:
 		m.cv = &CounterVec{name: name, labels: labels, byKey: make(map[string]*labeledCounter)}
+	case kindGaugeVec:
+		m.gv = &GaugeVec{name: name, labels: labels, byKey: make(map[string]*labeledGauge)}
 	case kindHistogramVec:
 		m.hv = &HistogramVec{name: name, labels: labels, byKey: make(map[string]*labeledHistogram)}
 	}
@@ -170,6 +204,19 @@ func (v *CounterVec) sortedChildren() []*labeledCounter {
 	out := make([]*labeledCounter, 0, len(v.byKey))
 	for _, c := range v.byKey {
 		out = append(out, c)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\x00") < strings.Join(out[j].values, "\x00")
+	})
+	return out
+}
+
+func (v *GaugeVec) sortedChildren() []*labeledGauge {
+	v.mu.RLock()
+	out := make([]*labeledGauge, 0, len(v.byKey))
+	for _, g := range v.byKey {
+		out = append(out, g)
 	}
 	v.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {

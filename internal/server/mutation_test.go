@@ -1,0 +1,336 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ktg"
+)
+
+func getJSON(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: response is not JSON: %v\n%s", path, err, rec.Body.String())
+	}
+	return rec, out
+}
+
+// newMutableTestServer serves the reviewer fixture in live-mutation
+// mode (NLRNL index under epoch-swapped maintenance).
+func newMutableTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	net := reviewerNetwork(t)
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := ktg.NewLiveNetwork(net, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTestServer(t, cfg, &Dataset{Name: "reviewers", Network: net, Index: idx, Live: live})
+}
+
+func TestMutationValidation(t *testing.T) {
+	net := reviewerNetwork(t)
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := ktg.NewLiveNetwork(net, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second, static dataset proves the immutable rejection.
+	s := newTestServer(t, Config{},
+		&Dataset{Name: "reviewers", Network: net, Index: idx, Live: live},
+		&Dataset{Name: "static", Network: reviewerNetwork(t)})
+	h := s.Handler()
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"malformed JSON", `{"dataset":`, 400, "malformed_body"},
+		{"unknown field", `{"dataset":"reviewers","edges":[],"nope":1}`, 400, "malformed_body"},
+		{"missing dataset", `{"edges":[{"op":"insert","u":0,"v":5}]}`, 400, "missing_dataset"},
+		{"missing edges", `{"dataset":"reviewers"}`, 400, "missing_edges"},
+		{"negative timeout", `{"dataset":"reviewers","edges":[{"op":"insert","u":0,"v":5}],"timeout_ms":-1}`, 400, "invalid_timeout"},
+		{"unknown dataset", `{"dataset":"nope","edges":[{"op":"insert","u":0,"v":5}]}`, 404, "unknown_dataset"},
+		{"immutable dataset", `{"dataset":"static","edges":[{"op":"insert","u":0,"v":5}]}`, 409, "immutable_dataset"},
+		{"bad op", `{"dataset":"reviewers","edges":[{"op":"upsert","u":0,"v":5}]}`, 400, "invalid_edge"},
+		{"negative endpoint", `{"dataset":"reviewers","edges":[{"op":"insert","u":-1,"v":5}]}`, 400, "invalid_edge"},
+		{"endpoint out of range", `{"dataset":"reviewers","edges":[{"op":"insert","u":0,"v":12}]}`, 400, "invalid_edge"},
+		{"self-loop", `{"dataset":"reviewers","edges":[{"op":"insert","u":5,"v":5}]}`, 400, "invalid_edge"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, out := postJSON(t, h, "/v1/edges", tc.body)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d; body %s", rec.Code, tc.status, rec.Body.String())
+			}
+			errObj, _ := out["error"].(map[string]any)
+			if errObj == nil || errObj["code"] != tc.code {
+				t.Fatalf("error code = %v, want %q; body %s", out["error"], tc.code, rec.Body.String())
+			}
+		})
+	}
+	t.Run("too many edges", func(t *testing.T) {
+		edges := make([]string, maxMutationBatch+1)
+		for i := range edges {
+			edges[i] = `{"op":"insert","u":0,"v":5}`
+		}
+		body := `{"dataset":"reviewers","edges":[`
+		for i, e := range edges {
+			if i > 0 {
+				body += ","
+			}
+			body += e
+		}
+		body += `]}`
+		rec, out := postJSON(t, h, "/v1/edges", body)
+		errObj, _ := out["error"].(map[string]any)
+		if rec.Code != 400 || errObj == nil || errObj["code"] != "too_many_edges" {
+			t.Fatalf("status = %d, error = %v, want 400 too_many_edges", rec.Code, out["error"])
+		}
+	})
+}
+
+// TestMutationEpochProgression proves the epoch contract on the wire:
+// effective batches advance the epoch by exactly 1, re-applying the
+// same batch is all-ignored and mints no epoch (the idempotence that
+// makes blind retries safe), and /v1/datasets tracks the live view's
+// epoch and edge count.
+func TestMutationEpochProgression(t *testing.T) {
+	s := newMutableTestServer(t, Config{})
+	h := s.Handler()
+
+	// Edge (5,8) is absent in the reviewer fixture.
+	insert := `{"dataset":"reviewers","edges":[{"op":"insert","u":5,"v":8}]}`
+	rec, out := postJSON(t, h, "/v1/edges", insert)
+	if rec.Code != 200 {
+		t.Fatalf("insert: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["epoch"] != float64(2) || out["swapped"] != true || out["applied"] != float64(1) {
+		t.Fatalf("insert: epoch/swapped/applied = %v/%v/%v, want 2/true/1", out["epoch"], out["swapped"], out["applied"])
+	}
+
+	// Same batch again: the edge now exists, so the op is ignored and no
+	// new epoch is published.
+	rec, out = postJSON(t, h, "/v1/edges", insert)
+	if rec.Code != 200 {
+		t.Fatalf("re-insert: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["epoch"] != float64(2) || out["swapped"] == true || out["ignored"] != float64(1) {
+		t.Fatalf("re-insert: epoch/swapped/ignored = %v/%v/%v, want 2/absent/1", out["epoch"], out["swapped"], out["ignored"])
+	}
+
+	rec, out = postJSON(t, h, "/v1/edges", `{"dataset":"reviewers","edges":[{"op":"delete","u":8,"v":5}]}`)
+	if rec.Code != 200 || out["epoch"] != float64(3) {
+		t.Fatalf("delete: status %d epoch %v, want 200 epoch 3: %s", rec.Code, out["epoch"], rec.Body.String())
+	}
+
+	// /v1/datasets reflects the live view: mutable, current epoch, and
+	// the original edge count after the insert+delete round trip.
+	recD, outD := getJSON(t, h, "/v1/datasets")
+	if recD.Code != 200 {
+		t.Fatalf("/v1/datasets: status %d", recD.Code)
+	}
+	dss, _ := outD["datasets"].([]any)
+	if len(dss) != 1 {
+		t.Fatalf("/v1/datasets: %v", outD)
+	}
+	d := dss[0].(map[string]any)
+	if d["mutable"] != true || d["epoch"] != float64(3) || d["edges"] != float64(17) {
+		t.Fatalf("/v1/datasets: mutable/epoch/edges = %v/%v/%v, want true/3/17", d["mutable"], d["epoch"], d["edges"])
+	}
+}
+
+// starNetwork builds a 12-vertex star around vertex 1 (edges 1–i for
+// every other i), each vertex carrying its own unique keyword. Inserting
+// (0,2) affects only the endpoints: every other vertex sits at distance
+// 2 from both, so the §V-B insert rule exempts it. With a 12-keyword
+// vocabulary the 2 affected keywords stay under the full-flush
+// threshold, exercising the targeted invalidation path.
+func starNetwork(t *testing.T) *ktg.Network {
+	t.Helper()
+	b := ktg.NewBuilder(12)
+	for i := ktg.Vertex(0); i < 12; i++ {
+		if i != 1 {
+			b.AddEdge(1, i)
+		}
+		b.SetKeywords(i, fmt.Sprintf("kw%d", i))
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestMutationCacheInvalidationScoped(t *testing.T) {
+	net := starNetwork(t)
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := ktg.NewLiveNetwork(net, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{}, &Dataset{Name: "star", Network: net, Index: idx, Live: live})
+	h := s.Handler()
+
+	queryA := `{"dataset":"star","keywords":["kw0"],"group_size":1,"tenuity":1}`
+	queryB := `{"dataset":"star","keywords":["kw5"],"group_size":1,"tenuity":1}`
+	for _, q := range []string{queryA, queryB} {
+		if rec, out := postJSON(t, h, "/v1/query", q); rec.Code != 200 || out["cache"] != "miss" {
+			t.Fatalf("warm: status %d cache %v: %s", rec.Code, out["cache"], rec.Body.String())
+		}
+		if rec, out := postJSON(t, h, "/v1/query", q); rec.Code != 200 || out["cache"] != "hit" {
+			t.Fatalf("re-warm: status %d cache %v: %s", rec.Code, out["cache"], rec.Body.String())
+		}
+	}
+
+	rec, out := postJSON(t, h, "/v1/edges", `{"dataset":"star","edges":[{"op":"insert","u":0,"v":2}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("mutation: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["cache_flushed"] == true {
+		t.Fatalf("mutation flushed the whole cache; wanted scoped invalidation: %s", rec.Body.String())
+	}
+	if out["cache_invalidated"] != float64(1) {
+		t.Fatalf("cache_invalidated = %v, want exactly 1 (query A only): %s", out["cache_invalidated"], rec.Body.String())
+	}
+
+	// A's keywords intersect the affected set {kw0, kw2}: the cached
+	// answer must be gone. B's do not: its entry survives, reporting the
+	// epoch it was computed at.
+	if rec, out := postJSON(t, h, "/v1/query", queryA); rec.Code != 200 || out["cache"] == "hit" {
+		t.Fatalf("query A after mutation: status %d cache %v, want a fresh answer", rec.Code, out["cache"])
+	} else if out["epoch"] != float64(2) {
+		t.Fatalf("query A fresh answer epoch = %v, want 2", out["epoch"])
+	}
+	if rec, out := postJSON(t, h, "/v1/query", queryB); rec.Code != 200 || out["cache"] != "hit" {
+		t.Fatalf("query B after mutation: status %d cache %v, want the surviving hit", rec.Code, out["cache"])
+	} else if out["epoch"] != float64(1) {
+		t.Fatalf("query B hit epoch = %v, want the stored epoch 1", out["epoch"])
+	}
+}
+
+// TestMutationCacheFullFlush drives the broad-mutation path: on the
+// reviewer fixture (6-keyword vocabulary) inserting (2,5) affects
+// vertices carrying 4 distinct keywords — past the 1/4-vocabulary
+// threshold — so the whole dataset share is flushed, including entries
+// whose keywords the mutation never touched.
+func TestMutationCacheFullFlush(t *testing.T) {
+	s := newMutableTestServer(t, Config{})
+	h := s.Handler()
+
+	// Vertex 8 is the only "XX" holder and is unaffected by the (2,5)
+	// insert; only a full flush can evict this entry.
+	queryXX := `{"dataset":"reviewers","keywords":["XX"],"group_size":1,"tenuity":1}`
+	postJSON(t, h, "/v1/query", queryXX)
+	if _, out := postJSON(t, h, "/v1/query", queryXX); out["cache"] != "hit" {
+		t.Fatalf("warm-up did not cache: %v", out["cache"])
+	}
+
+	rec, out := postJSON(t, h, "/v1/edges", `{"dataset":"reviewers","edges":[{"op":"insert","u":2,"v":5}]}`)
+	if rec.Code != 200 || out["cache_flushed"] != true {
+		t.Fatalf("mutation: status %d cache_flushed %v, want 200 true: %s", rec.Code, out["cache_flushed"], rec.Body.String())
+	}
+	if _, out := postJSON(t, h, "/v1/query", queryXX); out["cache"] == "hit" {
+		t.Fatal("entry survived a full flush")
+	}
+}
+
+// TestCachedAnswersMatchFreshSearch is the cache-coherence property
+// test: across random mutation batches, a cached answer served for any
+// query must be byte-identical (groups, coverage, scores) to a freshly
+// computed answer on the current epoch. Invalidation is allowed to be
+// conservative (dropping fresh entries) but never unsound (serving
+// stale ones).
+func TestCachedAnswersMatchFreshSearch(t *testing.T) {
+	s := newMutableTestServer(t, Config{})
+	h := s.Handler()
+	rng := rand.New(rand.NewSource(7))
+
+	queries := []string{
+		`{"dataset":"reviewers","keywords":["SN","DQ"],"group_size":3,"tenuity":1}`,
+		`{"dataset":"reviewers","keywords":["GD"],"group_size":2,"tenuity":1}`,
+		`{"dataset":"reviewers","keywords":["GQ","SN"],"group_size":3,"tenuity":2}`,
+		`{"dataset":"reviewers","keywords":["XX"],"group_size":1,"tenuity":1}`,
+		`{"dataset":"reviewers","keywords":["QP","SN"],"group_size":2,"tenuity":1}`,
+		`{"dataset":"reviewers","keywords":["SN","QP","DQ","GQ","GD"],"group_size":3,"tenuity":1,"top_n":2}`,
+	}
+
+	groupsOf := func(out map[string]any) string {
+		raw, err := json.Marshal(out["groups"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	for round := 0; round < 20; round++ {
+		// Random batch; ops may be ineffective (duplicate inserts, missing
+		// deletes) — the endpoint must cope either way.
+		nOps := 1 + rng.Intn(3)
+		batch := `{"dataset":"reviewers","edges":[`
+		for i := 0; i < nOps; i++ {
+			u := rng.Intn(12)
+			v := rng.Intn(12)
+			if u == v {
+				v = (v + 1) % 12
+			}
+			op := "insert"
+			if rng.Intn(2) == 0 {
+				op = "delete"
+			}
+			if i > 0 {
+				batch += ","
+			}
+			batch += fmt.Sprintf(`{"op":%q,"u":%d,"v":%d}`, op, u, v)
+		}
+		batch += `]}`
+		if rec, _ := postJSON(t, h, "/v1/edges", batch); rec.Code != 200 {
+			t.Fatalf("round %d: mutation status %d: %s", round, rec.Code, rec.Body.String())
+		}
+
+		// First pass: whatever the cache serves (hits that survived
+		// invalidation, or fresh misses that repopulate it).
+		served := make([]string, len(queries))
+		cached := make([]any, len(queries))
+		for i, q := range queries {
+			rec, out := postJSON(t, h, "/v1/query", q)
+			if rec.Code != 200 {
+				t.Fatalf("round %d query %d: status %d: %s", round, i, rec.Code, rec.Body.String())
+			}
+			served[i], cached[i] = groupsOf(out), out["cache"]
+		}
+		// Second pass after a full flush: guaranteed-fresh answers on the
+		// same epoch (no mutations ran in between).
+		if rec, _ := postJSON(t, h, "/v1/cache/invalidate", `{}`); rec.Code != 200 {
+			t.Fatalf("round %d: invalidate status %d", round, rec.Code)
+		}
+		for i, q := range queries {
+			rec, out := postJSON(t, h, "/v1/query", q)
+			if rec.Code != 200 {
+				t.Fatalf("round %d query %d fresh: status %d: %s", round, i, rec.Code, rec.Body.String())
+			}
+			if fresh := groupsOf(out); fresh != served[i] {
+				t.Fatalf("round %d query %d: cached answer (cache=%v) diverged from fresh search\n  cached: %s\n  fresh:  %s",
+					round, i, cached[i], served[i], fresh)
+			}
+		}
+	}
+}

@@ -45,6 +45,11 @@ type PartialResponse struct {
 	Partial       bool            `json:"partial,omitempty"`
 	PartialReason string          `json:"partial_reason,omitempty"`
 	Stats         ktg.SearchStats `json:"stats"`
+	// Epoch is the dataset epoch the slice was computed on (mutable
+	// datasets only). The coordinator refuses to merge slices from
+	// different epochs — a cross-epoch merge would mix two topologies
+	// into an answer true of neither.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // handlePartial serves POST /v1/query/partial, the shard-worker side of
@@ -192,6 +197,13 @@ func (s *Server) runPartial(reqCtx context.Context, req *QueryRequest, ds *Datas
 		testSearchHook(kindPartial, req)
 	}
 
+	// One consistent epoch for the whole slice (see runSearch).
+	nw, idx, epoch := ds.view()
+	reqRec.Epoch = epoch
+	if epoch != 0 {
+		parentSpan.SetAttr("epoch", strconv.FormatUint(epoch, 10))
+	}
+
 	q := ktg.Query{
 		Keywords:  req.Keywords,
 		GroupSize: req.GroupSize,
@@ -201,7 +213,7 @@ func (s *Server) runPartial(reqCtx context.Context, req *QueryRequest, ds *Datas
 	phases := &obs.CollectTracer{}
 	opts := ktg.SearchOptions{
 		Algorithm: wireAlgorithms[req.Algorithm],
-		Index:     ds.Index,
+		Index:     idx,
 		MaxNodes:  req.MaxNodes,
 		Context:   ctx,
 		Logger:    logger,
@@ -209,7 +221,7 @@ func (s *Server) runPartial(reqCtx context.Context, req *QueryRequest, ds *Datas
 	}
 	defer func() { reqRec.Phases = phases.Spans() }()
 
-	pr, err := ds.Network.SearchPartial(q, opts, ktg.CandidateSlice{
+	pr, err := nw.SearchPartial(q, opts, ktg.CandidateSlice{
 		Index: req.SliceIndex,
 		Count: req.SliceCount,
 	})
@@ -231,6 +243,7 @@ func (s *Server) runPartial(reqCtx context.Context, req *QueryRequest, ds *Datas
 		Offers:       make([]PartialOfferJSON, 0, len(pr.Offers)),
 		Groups:       make([]GroupJSON, 0, len(pr.Groups)),
 		Stats:        pr.Stats,
+		Epoch:        epoch,
 	}
 	if resp.Algorithm == "" {
 		resp.Algorithm = "vkc-deg"

@@ -99,6 +99,12 @@ type QueryResponse struct {
 	Degraded       bool            `json:"degraded,omitempty"`
 	DegradedReason string          `json:"degraded_reason,omitempty"`
 	Stats          ktg.SearchStats `json:"stats"`
+	// Epoch is the dataset epoch the answer was computed on (mutable
+	// datasets only; omitted for static datasets). A "hit" response
+	// reports the epoch of the cached computation — invalidation
+	// guarantees it is still the current answer, but the stamp stays
+	// honest about provenance.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Cache reports how this response was produced: "miss" (a search
 	// ran for this request), "hit" (served from the result cache), or
 	// "shared" (joined an identical in-flight search).
@@ -247,13 +253,10 @@ func (req *QueryRequest) validate(kind string, lim limits) *APIError {
 	return nil
 }
 
-// cacheKey canonicalizes the request into a stable hash so that
-// semantically identical queries share one cache slot. Keywords are
-// sorted and de-duplicated (coverage is a set property). Budgets
-// (timeout_ms, max_nodes) are deliberately NOT part of the key: only
-// complete results are ever cached, and a complete result is
-// budget-independent. kind separates /v1/query from /v1/diverse.
-func (req *QueryRequest) cacheKey(kind string) string {
+// uniqKeywords returns the request's keywords sorted and de-duplicated —
+// the canonical set used by the cache key and by mutation-scoped cache
+// invalidation.
+func (req *QueryRequest) uniqKeywords() []string {
 	kws := append([]string(nil), req.Keywords...)
 	sort.Strings(kws)
 	uniq := kws[:0]
@@ -262,6 +265,20 @@ func (req *QueryRequest) cacheKey(kind string) string {
 			uniq = append(uniq, kw)
 		}
 	}
+	return uniq
+}
+
+// cacheKey canonicalizes the request into a stable hash so that
+// semantically identical queries share one cache slot. Keywords are
+// sorted and de-duplicated (coverage is a set property). Budgets
+// (timeout_ms, max_nodes) are deliberately NOT part of the key: only
+// complete results are ever cached, and a complete result is
+// budget-independent. The epoch is deliberately NOT part of the key
+// either — mutations eagerly invalidate affected entries instead, so
+// surviving entries are valid for the current epoch. kind separates
+// /v1/query from /v1/diverse.
+func (req *QueryRequest) cacheKey(kind string) string {
+	uniq := req.uniqKeywords()
 	algo := req.Algorithm
 	if algo == "" {
 		algo = "vkc-deg"

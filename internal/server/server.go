@@ -121,10 +121,28 @@ func (c Config) withDefaults() Config {
 // be safe for concurrent readers (NL, NLRNL without mutation, PLL —
 // see ktg.DistanceIndex). A nil Index falls back to a per-search BFS
 // oracle.
+//
+// Live makes the dataset mutable: when set, every search resolves the
+// live network's current epoch (an immutable network + index pair) at
+// admission and POST /v1/edges publishes new epochs, while Network and
+// Index describe the base (epoch 1) state and keep serving metadata.
+// Live datasets stamp their epoch into every response.
 type Dataset struct {
 	Name    string
 	Network *ktg.Network
 	Index   ktg.DistanceIndex
+	Live    *ktg.LiveNetwork
+}
+
+// view resolves the network + index + epoch a search should run on: the
+// live network's current epoch for mutable datasets, the static pair
+// (epoch 0, not stamped on responses) otherwise.
+func (ds *Dataset) view() (*ktg.Network, ktg.DistanceIndex, uint64) {
+	if ds.Live == nil {
+		return ds.Network, ds.Index, 0
+	}
+	v := ds.Live.View()
+	return v.Network, v.Index, v.Epoch
 }
 
 // Server is the KTG query service. Create one with New, mount
@@ -195,6 +213,7 @@ func (s *Server) traceStore() *obs.TraceStore {
 //	POST /v1/query             exact / greedy KTG search
 //	POST /v1/query/partial     one frontier slice of a scattered search (shard workers)
 //	POST /v1/diverse           DKTG-Greedy diverse search
+//	POST /v1/edges             apply an edge insert/delete batch (live datasets)
 //	GET  /v1/datasets          served datasets and their stats
 //	POST /v1/cache/invalidate  drop all cached results
 //	GET  /healthz              liveness (always 200 while the process runs)
@@ -217,6 +236,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/query/partial", s.handlePartial)
 	mux.HandleFunc("POST /v1/diverse", s.handleDiverse)
+	mux.HandleFunc("POST /v1/edges", s.handleEdges)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("POST /v1/cache/invalidate", s.handleInvalidate)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -359,13 +379,14 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 	if resp, ok := s.cache.lookup(key); ok {
 		mCacheHits.Inc()
 		span.Event("cache.hit", 0)
-		rec.Outcome, rec.Stats = obs.OutcomeCached, resp.Stats
+		rec.Outcome, rec.Stats, rec.Epoch = obs.OutcomeCached, resp.Stats, resp.Epoch
 		s.writeResponse(w, resp, "hit")
 		return
 	}
 
 	leader := false
-	resp, fromFlight, err := s.cache.do(r.Context(), key, func() (*QueryResponse, bool, error) {
+	meta := cacheMeta{dataset: ds.Name, kws: req.uniqKeywords()}
+	resp, fromFlight, err := s.cache.do(r.Context(), key, meta, func() (*QueryResponse, bool, error) {
 		leader = true
 		return s.runSearch(r.Context(), req, ds, kind, rec)
 	})
@@ -375,7 +396,7 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 		// while we waited) — no search of our own ran.
 		mCacheShared.Inc()
 		span.Event("cache.shared", 0)
-		rec.Outcome, rec.Stats = obs.OutcomeCached, resp.Stats
+		rec.Outcome, rec.Stats, rec.Epoch = obs.OutcomeCached, resp.Stats, resp.Epoch
 		s.writeResponse(w, resp, "shared")
 	case err == nil:
 		mCacheMisses.Inc()
@@ -494,6 +515,15 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		testSearchHook(kind, req)
 	}
 
+	// Resolve the epoch once, after admission: the network + index pair
+	// is immutable, so the whole search sees one consistent topology
+	// even while mutations publish later epochs concurrently.
+	nw, idx, epoch := ds.view()
+	reqRec.Epoch = epoch
+	if epoch != 0 {
+		parentSpan.SetAttr("epoch", strconv.FormatUint(epoch, 10))
+	}
+
 	q := ktg.Query{
 		Keywords:  req.Keywords,
 		GroupSize: req.GroupSize,
@@ -507,7 +537,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 	phases := &obs.CollectTracer{}
 	opts := ktg.SearchOptions{
 		Algorithm: wireAlgorithms[req.Algorithm],
-		Index:     ds.Index,
+		Index:     idx,
 		MaxNodes:  req.MaxNodes,
 		Context:   ctx,
 		Logger:    logger,
@@ -515,7 +545,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 	}
 	defer func() { reqRec.Phases = phases.Spans() }()
 
-	resp = &QueryResponse{Dataset: ds.Name, Algorithm: req.Algorithm}
+	resp = &QueryResponse{Dataset: ds.Name, Algorithm: req.Algorithm, Epoch: epoch}
 	if resp.Algorithm == "" {
 		resp.Algorithm = "vkc-deg"
 	}
@@ -536,7 +566,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 			gamma = *req.Gamma
 		}
 		var dr *ktg.DiverseResult
-		dr, err = ds.Network.SearchDiverse(q, ktg.DiverseOptions{SearchOptions: opts, Gamma: gamma})
+		dr, err = nw.SearchDiverse(q, ktg.DiverseOptions{SearchOptions: opts, Gamma: gamma})
 		if dr != nil {
 			res = &ktg.Result{Groups: dr.Groups, Stats: dr.Stats}
 			resp.Diversity = &dr.Diversity
@@ -544,9 +574,9 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 			resp.Score = &dr.Score
 		}
 	case req.Algorithm == "greedy" || degradedReason != "":
-		res, err = ds.Network.SearchGreedyWith(q, opts, req.Seeds)
+		res, err = nw.SearchGreedyWith(q, opts, req.Seeds)
 	default:
-		res, err = ds.Network.Search(q, opts)
+		res, err = nw.Search(q, opts)
 	}
 
 	if res == nil {
@@ -593,19 +623,26 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 		Edges      int    `json:"edges"`
 		Vocabulary int    `json:"vocabulary"`
 		Index      string `json:"index"`
+		Mutable    bool   `json:"mutable,omitempty"`
+		Epoch      uint64 `json:"epoch,omitempty"`
 	}
 	out := make([]datasetJSON, 0, len(s.names))
 	for _, name := range s.names {
 		ds := s.datasets[name]
+		// Edge/epoch figures come from the current live view so they track
+		// applied mutations rather than the boot-time snapshot.
+		nw, idx, epoch := ds.view()
 		d := datasetJSON{
 			Name:       name,
-			Vertices:   ds.Network.NumVertices(),
-			Edges:      ds.Network.NumEdges(),
-			Vocabulary: ds.Network.VocabularySize(),
+			Vertices:   nw.NumVertices(),
+			Edges:      nw.NumEdges(),
+			Vocabulary: nw.VocabularySize(),
 			Index:      "BFS",
+			Mutable:    ds.Live != nil,
+			Epoch:      epoch,
 		}
-		if ds.Index != nil {
-			d.Index = ds.Index.Name()
+		if idx != nil {
+			d.Index = idx.Name()
 		}
 		out = append(out, d)
 	}

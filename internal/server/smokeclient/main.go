@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "ktgserver address")
 	dataset := flag.String("dataset", "brightkite", "dataset to query")
+	mutate := flag.Bool("mutate", false, "also probe POST /v1/edges (requires the server to run -mutable)")
 	flag.Parse()
 
 	selfCheckRetryAfter()
@@ -93,7 +95,109 @@ func main() {
 
 	checkTrace(*addr, first.TraceID)
 
+	if *mutate {
+		mutateSmoke(ctx, cl, *addr, *dataset, req, first)
+	}
+
 	fmt.Println("smokeclient: ok")
+}
+
+// mutateSmoke proves the live-mutation contract end to end: the dataset
+// advertises mutable with a live epoch, an edge batch touching answer
+// members swaps exactly one new epoch, the cached answer for the
+// touched keywords does not survive the swap, the fresh answer reports
+// the new epoch, and a malformed op is a typed 400.
+func mutateSmoke(ctx context.Context, cl *client.Client, addr, dataset string, req *client.Request, first *client.Response) {
+	e0 := datasetEpoch(addr, dataset)
+	if e0 == 0 {
+		fail("mutate: /v1/datasets reports %q with epoch 0; is the server running -mutable?", dataset)
+	}
+
+	// Mutate between two members of the cached answer: members are
+	// keyword-covering candidates, so the affected-keyword set must
+	// intersect the query's keywords and the cached entry must go.
+	if len(first.Groups) == 0 || len(first.Groups[0].Members) < 2 {
+		fail("mutate: first answer has no 2-member group to mutate around: %+v", first.Groups)
+	}
+	u := int64(first.Groups[0].Members[0])
+	v := int64(first.Groups[0].Members[1])
+	// delete-then-insert in one batch: whichever of the two states the
+	// edge is in, at least one op applies, so the batch always swaps.
+	mres, err := cl.MutateEdges(ctx, &client.MutationRequest{
+		Dataset: dataset,
+		Edges: []client.EdgeOp{
+			{Op: "delete", U: u, V: v},
+			{Op: "insert", U: u, V: v},
+		},
+	})
+	if err != nil {
+		fail("mutate: /v1/edges: %v", err)
+	}
+	if !mres.Swapped || mres.Applied < 1 {
+		fail("mutate: batch did not swap (swapped=%v applied=%d ignored=%d)", mres.Swapped, mres.Applied, mres.Ignored)
+	}
+	if mres.Epoch != e0+1 {
+		fail("mutate: epoch after batch = %d, want %d", mres.Epoch, e0+1)
+	}
+	if mres.RequestID == "" {
+		fail("mutate: /v1/edges response lacks a request ID")
+	}
+
+	after, err := cl.Query(ctx, req)
+	if err != nil {
+		fail("mutate: /v1/query after mutation: %v", err)
+	}
+	if after.Cache == "hit" {
+		fail("mutate: stale cache hit survived a mutation touching the answer's members (epoch %d)", mres.Epoch)
+	}
+	if after.Epoch != mres.Epoch {
+		fail("mutate: post-mutation answer reports epoch %d, want %d", after.Epoch, mres.Epoch)
+	}
+	if got := datasetEpoch(addr, dataset); got != mres.Epoch {
+		fail("mutate: /v1/datasets epoch = %d after batch, want %d", got, mres.Epoch)
+	}
+
+	_, err = cl.MutateEdges(ctx, &client.MutationRequest{
+		Dataset: dataset,
+		Edges:   []client.EdgeOp{{Op: "frobnicate", U: u, V: v}},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Code != "invalid_edge" {
+		fail("mutate: malformed op: err = %v, want a structured 400 invalid_edge", err)
+	}
+}
+
+// datasetEpoch reads one dataset's live epoch from /v1/datasets (0 for
+// static datasets or when the dataset is missing).
+func datasetEpoch(addr, dataset string) uint64 {
+	res, err := http.Get("http://" + addr + "/v1/datasets")
+	if err != nil {
+		fail("mutate: /v1/datasets: %v", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		fail("mutate: /v1/datasets: status %d", res.StatusCode)
+	}
+	var wire struct {
+		Datasets []struct {
+			Name    string `json:"name"`
+			Mutable bool   `json:"mutable"`
+			Epoch   uint64 `json:"epoch"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&wire); err != nil {
+		fail("mutate: decoding /v1/datasets: %v", err)
+	}
+	for _, d := range wire.Datasets {
+		if d.Name == dataset {
+			if d.Epoch != 0 && !d.Mutable {
+				fail("mutate: /v1/datasets reports epoch %d but mutable=false for %q", d.Epoch, dataset)
+			}
+			return d.Epoch
+		}
+	}
+	fail("mutate: dataset %q not in /v1/datasets", dataset)
+	return 0
 }
 
 // checkTrace proves the end-to-end tracing contract: the query's

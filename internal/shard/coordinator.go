@@ -174,8 +174,9 @@ func (co *Coordinator) traceStore() *obs.TraceStore {
 //
 //	POST /v1/query             scatter-gather KTG search (greedy/brute forwarded)
 //	POST /v1/diverse           DKTG diverse search, forwarded with failover
+//	POST /v1/edges             edge batch fanned out to every shard (all-or-retry)
 //	GET  /v1/datasets          forwarded from the first answering shard
-//	GET  /v1/shards            per-shard health, breaker state, and client stats
+//	GET  /v1/shards            per-shard health, breaker state, epochs, and client stats
 //	POST /v1/cache/invalidate  fanned out to every shard
 //	GET  /healthz, /readyz     liveness / readiness (readyz fails while draining)
 //	GET  /metrics              the shared obs registry (ktg_coord_* and ktg_client_*)
@@ -189,6 +190,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", co.handleQuery)
 	mux.HandleFunc("POST /v1/diverse", co.handleDiverse)
+	mux.HandleFunc("POST /v1/edges", co.handleEdges)
 	mux.HandleFunc("GET /v1/datasets", co.handleDatasets)
 	mux.HandleFunc("GET /v1/shards", co.handleShards)
 	mux.HandleFunc("POST /v1/cache/invalidate", co.handleInvalidate)

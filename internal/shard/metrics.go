@@ -26,4 +26,10 @@ var (
 		"ktg_coord_rejected_invalid_total", "coordinator requests rejected with a 4xx by validation")
 	mRejectDraining = obs.Default().Counter(
 		"ktg_coord_rejected_draining_total", "coordinator requests rejected with 503 while draining")
+	mEpochSkew = obs.Default().Counter(
+		"ktg_coord_epoch_skew_total", "scattered queries refused because shards answered from different epochs")
+	mMutationRequests = obs.Default().Counter(
+		"ktg_coord_mutation_requests_total", "POST /v1/edges batches received by the coordinator")
+	mMutationIncomplete = obs.Default().Counter(
+		"ktg_coord_mutation_incomplete_total", "edge batches that landed on only part of the fleet")
 )

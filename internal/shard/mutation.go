@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ktg/internal/client"
+	"ktg/internal/obs"
+	"ktg/internal/server"
+)
+
+// shardMutation is one shard's outcome inside a fanned-out edge batch.
+type shardMutation struct {
+	URL     string `json:"url"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Applied int    `json:"applied"`
+	Ignored int    `json:"ignored"`
+	Error   string `json:"error,omitempty"`
+}
+
+// MutationResponse is the coordinator's answer to POST /v1/edges: the
+// fleet-wide view of one edge batch.
+type MutationResponse struct {
+	Dataset string `json:"dataset"`
+	// Epoch is the highest epoch any shard reported after the batch;
+	// EpochSkew flags that shards disagreed (a prior batch landed
+	// partially, or out-of-band mutations bypassed the coordinator).
+	Epoch       uint64          `json:"epoch"`
+	EpochSkew   bool            `json:"epoch_skew,omitempty"`
+	ShardsTotal int             `json:"shards_total"`
+	ShardsOK    int             `json:"shards_ok"`
+	Shards      []shardMutation `json:"shards"`
+}
+
+// handleEdges fans one edge batch out to every shard through the
+// resilient clients (retries and breakers, never hedging — the client
+// refuses to hedge mutations). The batch must land fleet-wide to keep
+// shards on the same epoch: a partial landing answers 502
+// mutation_incomplete so the caller retries (edge ops are idempotent,
+// and shards that already applied the batch re-apply it as all-ignored
+// without minting another epoch); until convergence the scatter path's
+// shard_epoch_skew refusal keeps cross-epoch merges from serving. Only
+// a fleet-wide failure answers 503.
+func (co *Coordinator) handleEdges(w http.ResponseWriter, r *http.Request) {
+	mMutationRequests.Inc()
+	logger := co.reqLogger(r.Context())
+
+	req, aerr := server.DecodeMutation(r)
+	if aerr != nil {
+		mRejectInvalid.Inc()
+		server.WriteAPIError(w, aerr)
+		return
+	}
+	if co.rejectDraining(w) {
+		return
+	}
+
+	span := obs.SpanFromContext(r.Context())
+	span.SetAttr("dataset", req.Dataset)
+	span.SetAttr("edge_ops", strconv.Itoa(len(req.Edges)))
+
+	ctx, cancel := co.clampCtx(r.Context(), req.TimeoutMillis)
+	defer cancel()
+
+	creq := &client.MutationRequest{
+		Dataset:       req.Dataset,
+		TimeoutMillis: req.TimeoutMillis,
+		Edges:         make([]client.EdgeOp, len(req.Edges)),
+	}
+	for i, e := range req.Edges {
+		creq.Edges[i] = client.EdgeOp{Op: e.Op, U: e.U, V: e.V}
+	}
+
+	total := len(co.shards)
+	results := make([]*client.MutationResponse, total)
+	errs := make([]error, total)
+	var wg sync.WaitGroup
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, sh *shardConn) {
+			defer wg.Done()
+			results[i], errs[i] = sh.c.MutateEdges(ctx, creq)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	resp := &MutationResponse{
+		Dataset:     req.Dataset,
+		ShardsTotal: total,
+		Shards:      make([]shardMutation, total),
+	}
+	var firstErr *client.APIError
+	var lastErr error
+	for i, res := range results {
+		row := shardMutation{URL: co.shards[i].base}
+		if errs[i] != nil {
+			lastErr = errs[i]
+			row.Error = errs[i].Error()
+			if firstErr == nil {
+				var apiErr *client.APIError
+				if errors.As(errs[i], &apiErr) {
+					firstErr = apiErr
+				}
+			}
+			mShardFailures.With(co.shards[i].base).Inc()
+			logger.Warn("shard failed edge batch", "shard", co.shards[i].base, "err", errs[i])
+		} else {
+			resp.ShardsOK++
+			row.Epoch, row.Applied, row.Ignored = res.Epoch, res.Applied, res.Ignored
+			if res.Epoch > resp.Epoch {
+				if resp.Epoch != 0 {
+					resp.EpochSkew = true
+				}
+				resp.Epoch = res.Epoch
+			} else if res.Epoch < resp.Epoch {
+				resp.EpochSkew = true
+			}
+		}
+		resp.Shards[i] = row
+	}
+	span.SetAttr("shards_ok", strconv.Itoa(resp.ShardsOK))
+
+	switch {
+	case resp.ShardsOK == 0:
+		// Nothing landed anywhere. Structured 4xx rejections (invalid
+		// edge, immutable dataset, unknown dataset) are fleet-uniform, so
+		// propagate the first one as-is instead of masking it as a 503.
+		if firstErr != nil && firstErr.Status < 500 && firstErr.Status != http.StatusTooManyRequests {
+			server.WriteAPIError(w, &server.APIError{
+				Status: firstErr.Status, Code: firstErr.Code, Message: firstErr.Message,
+			})
+			return
+		}
+		server.WriteAPIError(w, &server.APIError{
+			Status:  http.StatusServiceUnavailable,
+			Code:    "all_shards_failed",
+			Message: fmt.Sprintf("no shard applied the edge batch (last error: %v)", lastErr),
+		})
+	case resp.ShardsOK < total:
+		mMutationIncomplete.Inc()
+		span.Event("mutation.incomplete", int64(total-resp.ShardsOK))
+		server.WriteAPIError(w, &server.APIError{
+			Status: http.StatusBadGateway,
+			Code:   "mutation_incomplete",
+			Message: fmt.Sprintf("edge batch landed on %d/%d shards; retry the batch to converge (last error: %v)",
+				resp.ShardsOK, total, lastErr),
+		})
+	default:
+		server.WriteJSON(w, http.StatusOK, resp)
+	}
+}
+
+// shardEpochs fetches one shard's per-dataset epochs from its
+// /v1/datasets surface (mutable datasets only; nil when the shard is
+// unreachable or serves no mutable dataset).
+func (co *Coordinator) shardEpochs(ctx context.Context, sh *shardConn) map[string]uint64 {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+"/v1/datasets", nil)
+	if err != nil {
+		return nil
+	}
+	res, err := co.httpc().Do(req)
+	if err != nil {
+		return nil
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil
+	}
+	var wire struct {
+		Datasets []struct {
+			Name  string `json:"name"`
+			Epoch uint64 `json:"epoch"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(io.LimitReader(res.Body, 8<<20)).Decode(&wire); err != nil {
+		return nil
+	}
+	var out map[string]uint64
+	for _, d := range wire.Datasets {
+		if d.Epoch == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]uint64)
+		}
+		out[d.Name] = d.Epoch
+	}
+	return out
+}

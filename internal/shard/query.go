@@ -33,7 +33,11 @@ type QueryResponse struct {
 	Degraded       bool               `json:"degraded,omitempty"`
 	DegradedReason string             `json:"degraded_reason,omitempty"`
 	Stats          ktg.SearchStats    `json:"stats"`
-	Cache          string             `json:"cache"`
+	// Epoch is the dataset epoch every contributing shard answered from
+	// (mutable datasets only). Scattered answers are refused with
+	// shard_epoch_skew rather than merged across epochs.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Cache string `json:"cache"`
 	// ShardsTotal is the fleet size; ShardsFailed counts shards that
 	// produced no usable answer for this query after client retries.
 	ShardsTotal  int `json:"shards_total"`
@@ -162,6 +166,8 @@ func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, req *serv
 		failed    int
 		lastErr   error
 		truncated string
+		epoch     uint64
+		epochSkew bool
 	)
 	for i, resp := range responses {
 		if errs[i] != nil {
@@ -171,6 +177,11 @@ func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, req *serv
 			logger.Warn("shard failed during scatter",
 				"shard", co.shards[i].base, "slice", i, "err", errs[i])
 			continue
+		}
+		if len(parts) == 0 {
+			epoch = resp.Epoch
+		} else if resp.Epoch != epoch {
+			epochSkew = true
 		}
 		if resp.Partial && truncated == "" {
 			truncated = resp.PartialReason
@@ -183,6 +194,20 @@ func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, req *serv
 			Status:  http.StatusServiceUnavailable,
 			Code:    "all_shards_failed",
 			Message: fmt.Sprintf("no shard answered (%d/%d failed; last error: %v)", failed, total, lastErr),
+		})
+		return
+	}
+	if epochSkew {
+		// Slices from different epochs describe different topologies;
+		// merging them could fabricate a group that exists in neither.
+		// 502 is retryable — clients land on converged shards next time.
+		mEpochSkew.Inc()
+		span.Event("merge.epoch_skew", 0)
+		logger.Warn("shards answered from different epochs; refusing to merge")
+		server.WriteAPIError(w, &server.APIError{
+			Status:  http.StatusBadGateway,
+			Code:    "shard_epoch_skew",
+			Message: "shards answered from different dataset epochs; retry after mutations settle",
 		})
 		return
 	}
@@ -206,6 +231,7 @@ func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, req *serv
 		Algorithm:    req.Algorithm,
 		Groups:       make([]server.GroupJSON, 0, len(merged.Groups)),
 		Stats:        merged.Stats,
+		Epoch:        epoch,
 		Cache:        "miss",
 		ShardsTotal:  total,
 		ShardsFailed: failed,
@@ -308,6 +334,7 @@ func (co *Coordinator) writeForwarded(w http.ResponseWriter, resp *client.Respon
 		Degraded:       resp.Degraded,
 		DegradedReason: resp.DegradedReason,
 		Stats:          resp.Stats,
+		Epoch:          resp.Epoch,
 		Cache:          resp.Cache,
 		ShardsTotal:    total,
 		ShardsFailed:   failed,
@@ -327,10 +354,14 @@ func (co *Coordinator) writeForwarded(w http.ResponseWriter, resp *client.Respon
 
 // shardStatus is one row of GET /v1/shards.
 type shardStatus struct {
-	URL     string       `json:"url"`
-	Healthy bool         `json:"healthy"`
-	Breaker string       `json:"breaker"`
-	Stats   client.Stats `json:"stats"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"`
+	// Epochs maps each mutable dataset to the epoch this shard serves;
+	// a divergence across rows means a mutation batch has not converged
+	// yet (scatter answers refuse to merge until it does).
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
+	Stats  client.Stats      `json:"stats"`
 }
 
 func (co *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
@@ -346,6 +377,7 @@ func (co *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
 				URL:     sh.base,
 				Healthy: sh.c.Health(ctx) == nil,
 				Breaker: breakerName(sh.c.BreakerState()),
+				Epochs:  co.shardEpochs(ctx, sh),
 				Stats:   sh.c.Stats(),
 			}
 		}(i, sh)

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+
+	"ktg/internal/graph"
+)
+
+// MutationOp is one generated edge mutation.
+type MutationOp struct {
+	Insert bool
+	U, V   graph.Vertex
+}
+
+// Mutator generates random edge-mutation batches against a local mirror
+// of the server's graph. The mirror tracks every batch the Mutator
+// hands out, so inserts always pick currently-non-adjacent pairs and
+// deletes always pick currently-present edges — each generated op is
+// effective, which keeps mutation workloads from degenerating into
+// streams of ignored duplicates. Safe for concurrent use; callers that
+// generate batches from several goroutines serialize on the internal
+// mutex, mirroring how the server serializes ApplyEdges.
+//
+// The mirror assumes the Mutator is the only writer (batches it hands
+// out are applied in order). If a batch is dropped on the wire and
+// retried, re-applying it is harmless: ops are idempotent server-side.
+type Mutator struct {
+	mu sync.Mutex
+	g  *graph.Mutable
+	r  *rand.Rand
+	n  int
+}
+
+// NewMutator builds a deterministic Mutator over a snapshot of g.
+func NewMutator(g *graph.Graph, seed int64) *Mutator {
+	return &Mutator{
+		g: graph.MutableFrom(g),
+		r: rand.New(rand.NewSource(seed)),
+		n: g.NumVertices(),
+	}
+}
+
+// Batch draws size effective edge ops, each an insert with probability
+// insertFrac (otherwise a delete), and applies them to the mirror. When
+// the mirror runs out of edges to delete the op falls back to an
+// insert, and vice versa on a (pathologically) complete graph.
+func (m *Mutator) Batch(size int, insertFrac float64) []MutationOp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MutationOp, 0, size)
+	for len(out) < size {
+		insert := m.r.Float64() < insertFrac
+		if m.g.NumEdges() == 0 {
+			insert = true
+		}
+		var op MutationOp
+		var ok bool
+		if insert {
+			op, ok = m.randomInsertLocked()
+			if !ok {
+				op, ok = m.randomDeleteLocked()
+			}
+		} else {
+			op, ok = m.randomDeleteLocked()
+			if !ok {
+				op, ok = m.randomInsertLocked()
+			}
+		}
+		if !ok {
+			break // n < 2: no mutation is possible at all
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// randomInsertLocked picks a uniformly random non-adjacent pair and
+// inserts it into the mirror (bounded rejection sampling; dense mirrors
+// fall back to reporting failure so Batch can delete instead).
+func (m *Mutator) randomInsertLocked() (MutationOp, bool) {
+	if m.n < 2 {
+		return MutationOp{}, false
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		u := graph.Vertex(m.r.Intn(m.n))
+		v := graph.Vertex(m.r.Intn(m.n))
+		if u == v || m.g.HasEdge(u, v) {
+			continue
+		}
+		m.g.AddEdge(u, v)
+		return MutationOp{Insert: true, U: u, V: v}, true
+	}
+	return MutationOp{}, false
+}
+
+// randomDeleteLocked removes a uniformly random existing edge from the
+// mirror (sampled by drawing a vertex weighted by degree via rejection,
+// then one of its neighbors).
+func (m *Mutator) randomDeleteLocked() (MutationOp, bool) {
+	if m.g.NumEdges() == 0 {
+		return MutationOp{}, false
+	}
+	for attempt := 0; attempt < 256; attempt++ {
+		u := graph.Vertex(m.r.Intn(m.n))
+		ns := m.g.Neighbors(u)
+		if len(ns) == 0 {
+			continue
+		}
+		v := ns[m.r.Intn(len(ns))]
+		m.g.RemoveEdge(u, v)
+		return MutationOp{Insert: false, U: u, V: v}, true
+	}
+	return MutationOp{}, false
+}
+
+// NumEdges reports the mirror's current edge count.
+func (m *Mutator) NumEdges() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.g.NumEdges()
+}

@@ -1,0 +1,166 @@
+package ktg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ktg/internal/graph"
+	"ktg/internal/live"
+)
+
+// EdgeOp is one edge insertion (Insert true) or deletion (Insert false)
+// applied to a LiveNetwork.
+type EdgeOp struct {
+	Insert bool
+	U, V   Vertex
+}
+
+// LiveView is one published epoch of a LiveNetwork: an immutable Network
+// snapshot plus the distance index maintained for exactly that topology
+// (nil in the index-free configuration — leave SearchOptions.Index nil
+// and each search runs a private BFS oracle over the snapshot). A view
+// never changes after publication, so any number of searches may use it
+// concurrently and for as long as they like.
+type LiveView struct {
+	Epoch   uint64
+	Network *Network
+	Index   DistanceIndex
+}
+
+// MutationResult reports what one ApplyEdges batch did.
+type MutationResult struct {
+	// Epoch is the epoch serving after the batch. It grows by exactly 1
+	// when the batch changed the graph and is unchanged otherwise.
+	Epoch uint64
+	// Swapped reports whether a new view was published.
+	Swapped bool
+	// Applied counts ops that changed the graph; Ignored counts
+	// duplicate inserts, missing deletes, and self-loops.
+	Applied, Ignored int
+	// AffectedVertices is the deduplicated union of vertices whose
+	// distance vectors the batch may have changed (§V-B rules), in
+	// increasing id order.
+	AffectedVertices []Vertex
+	// AffectedKeywords is the sorted union of the affected vertices'
+	// keywords. A cached query answer can only be stale if its query
+	// keywords intersect this set — the basis for mutation-scoped result
+	// cache invalidation.
+	AffectedKeywords []string
+	// ApplyDuration covers copy-on-write maintenance of the writer
+	// replica; SwapDuration covers snapshot freeze + pointer publish.
+	ApplyDuration, SwapDuration time.Duration
+}
+
+// LiveNetwork serves a mutable social network under concurrent searches
+// using epoch-swapped copy-on-write (see internal/live): View() is one
+// atomic pointer load and returns an immutable epoch that in-flight
+// searches keep using while ApplyEdges publishes successors — readers
+// never block on writers. Epochs start at 1.
+type LiveNetwork struct {
+	base *Network
+	mgr  *live.Manager
+
+	mu   sync.Mutex // serializes ApplyEdges (manager + view publish)
+	view atomic.Pointer[LiveView]
+}
+
+// NewLiveNetwork wraps a network and the index built for it (one of
+// Network.BuildNL / BuildNLRNL results, or nil for the index-free BFS
+// configuration) into a mutable serving handle. Ownership of the index
+// transfers: the caller must not use or mutate idx afterwards, and must
+// go through View() for all reads. PLL has no dynamic maintenance and is
+// rejected.
+func NewLiveNetwork(n *Network, idx DistanceIndex) (*LiveNetwork, error) {
+	var r live.Replica
+	switch x := idx.(type) {
+	case nil:
+		r = live.NewGraphReplica(graph.MutableFrom(n.g))
+	case *NLIndex:
+		r = live.NewNLReplica(graph.MutableFrom(n.g), x.nl)
+	case *NLRNLIndex:
+		r = live.NewNLRNLReplica(x.x)
+	default:
+		return nil, fmt.Errorf("ktg: index %q does not support live mutation", idx.Name())
+	}
+	ln := &LiveNetwork{base: n, mgr: live.NewManager(r)}
+	ln.view.Store(ln.derive(ln.mgr.Current()))
+	return ln, nil
+}
+
+// View returns the current epoch. The result is immutable; searches that
+// must be self-consistent should resolve one view and use its Network
+// and Index together.
+func (ln *LiveNetwork) View() *LiveView { return ln.view.Load() }
+
+// Epoch returns the current epoch number.
+func (ln *LiveNetwork) Epoch() uint64 { return ln.view.Load().Epoch }
+
+// Base returns the network the live handle was created from (epoch 1's
+// topology). Keyword profiles are shared by every epoch.
+func (ln *LiveNetwork) Base() *Network { return ln.base }
+
+// ApplyEdges applies a batch of edge mutations and, if any op changed
+// the graph, publishes the next epoch. Concurrent callers serialize;
+// readers are never blocked.
+func (ln *LiveNetwork) ApplyEdges(ops []EdgeOp) (*MutationResult, error) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+
+	lops := make([]live.EdgeOp, len(ops))
+	for i, op := range ops {
+		lops[i] = live.EdgeOp{Insert: op.Insert, U: op.U, V: op.V}
+	}
+	r, err := ln.mgr.Apply(lops)
+	if err != nil {
+		return nil, err
+	}
+	res := &MutationResult{
+		Epoch:            r.Epoch,
+		Swapped:          r.Swapped,
+		Applied:          r.Applied,
+		Ignored:          r.Ignored,
+		AffectedVertices: r.Affected,
+		ApplyDuration:    r.ApplyDur,
+		SwapDuration:     r.SwapDur,
+	}
+	if r.Swapped {
+		res.AffectedKeywords = ln.keywordsOf(r.Affected)
+		ln.view.Store(ln.derive(ln.mgr.Current()))
+	}
+	return res, nil
+}
+
+// derive maps an internal epoch view onto the public Network / Index
+// surface.
+func (ln *LiveNetwork) derive(v *live.View) *LiveView {
+	lv := &LiveView{Epoch: v.Epoch, Network: ln.base.withGraph(v.Graph)}
+	switch r := v.Replica.(type) {
+	case *live.NLRNLReplica:
+		lv.Index = &NLRNLIndex{x: r.X}
+	case *live.NLReplica:
+		lv.Index = &NLIndex{nl: r.NL}
+	}
+	return lv
+}
+
+// keywordsOf returns the sorted deduplicated keyword names over vs.
+func (ln *LiveNetwork) keywordsOf(vs []Vertex) []string {
+	set := make(map[string]struct{})
+	for _, v := range vs {
+		for _, kw := range ln.base.attrs.KeywordNames(v) {
+			set[kw] = struct{}{}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for kw := range set {
+		out = append(out, kw)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -64,6 +64,16 @@ func (n *Network) VocabularySize() int { return n.attrs.Vocabulary().Size() }
 // AverageDegree returns 2|E|/|V|.
 func (n *Network) AverageDegree() float64 { return n.g.AverageDegree() }
 
+// withGraph returns a shallow copy of the network serving a different
+// topology over the same keyword profiles, logger, and tracer. The live
+// mutation layer publishes one such copy per epoch; each copy is itself
+// immutable, preserving the Network contract.
+func (n *Network) withGraph(g *graph.Graph) *Network {
+	c := *n
+	c.g = g
+	return &c
+}
+
 // Builder assembles a Network from edges and keyword profiles.
 type Builder struct {
 	gb    *graph.Builder

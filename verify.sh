@@ -11,8 +11,10 @@ go build ./...
 go vet ./...
 ./scripts/check_metrics_docs.sh
 # The observability packages carry the concurrency-heavy request-scope
-# machinery; race-test them explicitly (and first), then everything.
-go test -race ./internal/obs ./internal/server
+# machinery, and internal/live the epoch-swap reader/writer dance;
+# race-test them explicitly (and first), then everything — including
+# the live-mutation chaos soak in internal/server.
+go test -race ./internal/obs ./internal/server ./internal/live
 go test -race ./...
 
 # --- query-server end-to-end smoke -----------------------------------
@@ -63,6 +65,21 @@ go run ./internal/server/smokeclient -addr "$addr"
 stop_server
 grep -q "ktgserver stopped" "$tmp/server.log"
 
+# --- live-mutation smoke ---------------------------------------------
+# Boot in mutable mode: /v1/datasets must advertise a live epoch, an
+# edge batch through POST /v1/edges must swap exactly one new epoch and
+# evict the cached answer it staled, and the fresh answer must report
+# the new epoch. A mixed read/write ktgload replay then drives epoch
+# churn under concurrency.
+go build -o "$tmp/ktgload" ./cmd/ktgload
+
+boot_server "$tmp/mutable.log" -mutable
+grep -q "mutable=true" "$tmp/mutable.log"
+go run ./internal/server/smokeclient -addr "$addr" -mutate
+"$tmp/ktgload" -addr "$addr" -preset brightkite -scale 0.02 \
+    -queries 25 -concurrency 4 -seed 42 -mutate-rate 0.3 -mutate-batch 4
+stop_server
+
 # --- snapshot corruption recovery smoke ------------------------------
 # First boot with -snapshots builds the index and saves a snapshot.
 # Corrupt one byte in the middle of that file; the next boot must
@@ -98,8 +115,6 @@ stop_server
 # requests get latency, 429s, 500s, resets, or truncated bodies) and
 # replay a workload through the resilient client. ktgload exits
 # non-zero if any query is lost or returns a malformed answer.
-go build -o "$tmp/ktgload" ./cmd/ktgload
-
 boot_server "$tmp/chaos.log" \
     -chaos "seed=7,latency=0.10:1ms-20ms,e429=0.10:0,e500=0.10,e503=0.06,reset=0.04,truncate=0.04"
 grep -qi "chaos injection enabled" "$tmp/chaos.log"
