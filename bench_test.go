@@ -278,6 +278,19 @@ func BenchmarkSearch(b *testing.B) {
 	b.Run("traced", func(b *testing.B) {
 		run(b, ktg.SearchOptions{Tracer: &countTracer{}})
 	})
+	// A probe is single-use, so it must be created inside the loop —
+	// which is also how the server uses it (one per request).
+	b.Run("probe", func(b *testing.B) {
+		idxOpts := ktg.SearchOptions{Index: idx, MaxNodes: 5_000_000, MaxDuration: 2 * time.Second}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opts := idxOpts
+			opts.Probe = &ktg.Probe{}
+			if _, err := net.Search(q, opts); err != nil && !errors.Is(err, ktg.ErrBudgetExhausted) {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // countTracer is the cheapest possible live tracer: two atomic counters.

@@ -16,6 +16,9 @@
 // so the endpoints can be scraped; interrupt to exit). -trace prints
 // the run's span waterfall (compile/candidates/explore timings) on
 // stderr; -trace-export appends the trace to a file as OTLP/JSON.
+// -explain prints the search's explain plan — the per-depth
+// expand/prune/filter breakdown and the bound trajectory — on stdout
+// after the result groups.
 //
 // Ctrl-C during a long search cancels it cleanly: the best groups found
 // so far are printed with a warning instead of discarding the work.
@@ -60,6 +63,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address and stay up after answering")
 		trace     = flag.Bool("trace", false, "print the run's trace as an ASCII waterfall on stderr after answering")
 		traceOut  = flag.String("trace-export", "", "append the run's trace to this file as OTLP/JSON lines")
+		explain   = flag.Bool("explain", false, "print the search explain plan (per-depth prune/filter breakdown, bound trajectory) on stdout after the groups")
 	)
 	flag.Parse()
 
@@ -155,6 +159,11 @@ func main() {
 	logger.Info("query", "keywords", kws, "p", *p, "k", *k, "n", *n)
 
 	opts := ktg.SearchOptions{MaxNodes: *maxNodes, Context: ctx, Logger: logger}
+	var probe *ktg.Probe
+	if *explain {
+		probe = &ktg.Probe{}
+		opts.Probe = probe
+	}
 	switch *alg {
 	case "vkc-deg":
 		opts.Algorithm = ktg.AlgVKCDeg
@@ -213,6 +222,13 @@ func main() {
 			"explore", res.Stats.ExploreTime)
 		emitStats(logger, *statsJSON, res.Stats)
 		printGroups(net, res.Groups)
+	}
+	if probe != nil {
+		if *alg == "brute" {
+			logger.Warn("brute-force search does not support -explain; no plan recorded")
+		} else {
+			fmt.Print(probe.Explain().Render())
+		}
 	}
 	finished()
 

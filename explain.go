@@ -1,0 +1,44 @@
+package ktg
+
+import "ktg/internal/core"
+
+// Probe collects a per-query explain plan and lock-free live progress
+// while a search runs. Attach one via SearchOptions.Probe (or through
+// DiverseOptions / SearchGreedyWith), then read Explain() after the
+// search returns, or Snapshot() at any time while it runs. A nil probe
+// costs the search one branch per node; allocate a fresh Probe per
+// query.
+//
+// These are aliases of the core types so the explain block travels the
+// wire with one JSON definition at every layer (server, client,
+// coordinator), the same way SearchStats does.
+type Probe = core.Probe
+
+// SearchProgress is one point-in-time snapshot of a running search,
+// published via atomic pointer so concurrent readers never see a torn
+// write.
+type SearchProgress = core.Progress
+
+// Explain is the structured explain plan of one search: totals, the
+// per-depth expand/prune/filter breakdown attributed by reason
+// (Theorem 2 bound prunes vs Theorem 3 k-line filtering vs abort), and
+// the bound trajectory of top-N improvements.
+type Explain = core.Explain
+
+// ExplainDepth is one per-depth row of an explain plan.
+type ExplainDepth = core.ExplainDepth
+
+// BoundStep is one top-N improvement in the bound trajectory.
+type BoundStep = core.BoundStep
+
+// ShardExplain is one shard's contribution to a merged explain plan.
+type ShardExplain = core.ShardExplain
+
+// MergeExplains combines per-shard explain plans into one merged plan:
+// counters and depth rows sum, bound trajectories interleave in time
+// order with 1-based shard attribution, and the per-shard breakdown is
+// retained so frontier skew stays visible. urls, when non-nil, labels
+// each shard's base URL and must parallel parts.
+func MergeExplains(parts []*Explain, urls []string) *Explain {
+	return core.MergeExplains(parts, urls)
+}

@@ -113,6 +113,10 @@ type Request struct {
 	// the server rejects them on the other endpoints.
 	SliceIndex int `json:"slice_index,omitempty"`
 	SliceCount int `json:"slice_count,omitempty"`
+	// Explain asks the server for a structured explain plan alongside the
+	// results. Explain responses bypass the server's cache, so leave it
+	// off on the hot path.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Group is one result group on the wire.
@@ -140,7 +144,10 @@ type Response struct {
 	// Epoch is the dataset epoch the answer was computed on (mutable
 	// datasets only; 0 for static datasets).
 	Epoch uint64 `json:"epoch,omitempty"`
-	Cache string `json:"cache"`
+	// Explain is the structured explain plan, present only when the
+	// request set Explain: true.
+	Explain *ktg.Explain `json:"explain,omitempty"`
+	Cache   string       `json:"cache"`
 
 	// RequestID echoes the X-Request-Id the winning attempt carried
 	// (stable across every attempt of this call). TraceID is the W3C

@@ -39,6 +39,10 @@ type PartialResponse struct {
 	// datasets only). The coordinator compares it across shards before
 	// merging.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Explain is this slice's structured explain plan, present only when
+	// the request set Explain: true; the coordinator merges the per-shard
+	// plans via ktg.MergeExplains.
+	Explain *ktg.Explain `json:"explain,omitempty"`
 
 	// Client-filled call metadata, as on Response.
 	RequestID string `json:"-"`

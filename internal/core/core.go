@@ -123,6 +123,11 @@ type Options struct {
 	// default) disables tracing entirely; the hot path then pays one
 	// branch per node. Wrap with obs.Sampled to thin per-node events.
 	Tracer obs.Tracer
+	// Probe collects a per-query explain plan and publishes live
+	// progress snapshots while the search runs. nil (the default)
+	// disables collection; the hot path then pays one branch per node.
+	// A probe is single-use: allocate a fresh one per query.
+	Probe *Probe
 	// Logger receives structured start/finish records for each search.
 	// nil falls back to the obs package default (a no-op unless the
 	// embedding application installed one).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -29,6 +30,11 @@ type GreedyOptions struct {
 	// Tracer receives compile/explore spans and per-seed events
 	// (nil = off).
 	Tracer obs.Tracer
+	// Probe collects a per-query explain plan and live progress
+	// (nil = off). Greedy has no branch-and-bound tree, so the plan
+	// carries seed-level progress and the bound trajectory only; the
+	// per-depth breakdown stays empty.
+	Probe *Probe
 	// Logger receives structured start/finish records (nil = obs
 	// package default).
 	Logger *slog.Logger
@@ -99,12 +105,27 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 	pool := make([]cand, 0, len(base))
 	group := make([]graph.Vertex, 0, q.P)
 
+	probe := opts.Probe
+	if probe != nil {
+		owned := seeds
+		if len(base) < owned {
+			owned = len(base)
+		}
+		probe.begin()
+		probe.setFrontier(owned, len(base))
+	}
+
 	var ctxErr error
 	exploreStart := time.Now()
 	for s := 0; s < len(base) && s < seeds; s++ {
 		if opts.Context != nil {
 			if err := opts.Context.Err(); err != nil {
 				ctxErr = err
+				if errors.Is(err, context.DeadlineExceeded) {
+					probe.abort("deadline", 0)
+				} else {
+					probe.abort("cancelled", 0)
+				}
 				break
 			}
 		}
@@ -145,6 +166,10 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 			pool = append(pool[:bestIdx], pool[bestIdx+1:]...)
 		}
 		stats.Nodes++
+		if probe != nil {
+			probe.tick()
+			probe.rootDone()
+		}
 		if len(group) < q.P {
 			continue
 		}
@@ -156,7 +181,9 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 		}
 		seen[key] = true
 		stats.Feasible++
-		heap.Offer(members, covered.Count())
+		if heap.Offer(members, covered.Count()) && probe != nil {
+			probe.offerAccepted(covered.Count(), heap.Threshold())
+		}
 	}
 	stats.ExploreTime = time.Since(exploreStart)
 	if opts.Tracer != nil {
@@ -169,6 +196,7 @@ func Greedy(g graph.Topology, attrs *keywords.Attributes, q Query, opts GreedyOp
 		"seeds", stats.Nodes, "feasible", stats.Feasible,
 		"oracle_calls", stats.OracleCalls, "explore", stats.ExploreTime,
 		"cancelled", ctxErr != nil)
+	probe.endSearch(stats, kq.Width())
 	res := &Result{Groups: heap.Groups(), QueryWidth: kq.Width(), Stats: stats}
 	if ctxErr != nil {
 		return res, fmt.Errorf("greedy search cancelled after %d seeds: %w", stats.Nodes, ctxErr)

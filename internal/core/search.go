@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -93,6 +94,7 @@ func run(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options, sl
 		uncapped: opts.UncappedPruneBound,
 		maxNodes: opts.MaxNodes,
 		tracer:   opts.Tracer,
+		probe:    opts.Probe,
 		slice:    slice,
 		heap:     newTopN(q.N),
 		si:       make([]graph.Vertex, 0, q.P),
@@ -157,6 +159,23 @@ func run(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options, sl
 	s.sortCandidates(root)
 	s.frontier = len(root)
 	s.stats.CandidateTime = time.Since(candStart)
+	if s.probe != nil {
+		// Owned depth-0 iterations: the root loop runs for i in
+		// [0, frontier-P], and a partial search strides it by its slice.
+		iters := len(root) - q.P + 1
+		if iters < 0 {
+			iters = 0
+		}
+		owned := iters
+		if slice != nil {
+			owned = 0
+			if iters > slice.Index {
+				owned = (iters - slice.Index + slice.Count - 1) / slice.Count
+			}
+		}
+		s.probe.begin()
+		s.probe.setFrontier(owned, len(root))
+	}
 	if s.tracer != nil {
 		s.tracer.Span(obs.PhaseCandidates, s.stats.CandidateTime)
 		s.tracer.Event(obs.PhaseCandidates, "size", int64(len(root)))
@@ -171,6 +190,7 @@ func run(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options, sl
 	if s.ctx != nil && s.ctx.Err() != nil {
 		s.ctxErr = s.ctx.Err()
 		s.budgetHit = true
+		s.probe.abort(s.abortCause(), 0)
 	} else {
 		s.explore(root, s.coverBuf[0], 0)
 	}
@@ -196,7 +216,18 @@ func run(g graph.Topology, attrs *keywords.Attributes, q Query, opts Options, sl
 		"filtered", s.stats.Filtered, "oracle_calls", s.stats.OracleCalls,
 		"feasible", s.stats.Feasible, "explore", s.stats.ExploreTime,
 		"budget_hit", s.budgetHit)
+	s.probe.endSearch(s.stats, s.kq.Width())
 	return s, nil
+}
+
+// abortCause names why the search stopped early, for explain-plan
+// attribution: an external cancellation, a deadline (the context's or
+// MaxDuration's), or — mapped by the caller directly — the node budget.
+func (s *searcher) abortCause() string {
+	if s.ctxErr != nil && !errors.Is(s.ctxErr, context.DeadlineExceeded) {
+		return "cancelled"
+	}
+	return "deadline"
 }
 
 // finishErr maps budget exhaustion or cancellation onto the search error
@@ -232,6 +263,7 @@ type searcher struct {
 	checkAbort  bool // hasDeadline || ctx != nil
 	ctxErr      error
 	tracer      obs.Tracer
+	probe       *Probe
 
 	deg      []int32
 	heap     *topN
@@ -286,15 +318,20 @@ func (s *searcher) degree(v graph.Vertex) int32 {
 func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 	s.stats.Nodes++
 	s.stats.DepthNodes[depth]++
+	if s.probe != nil {
+		s.probe.tick()
+	}
 	if s.tracer != nil {
 		s.tracer.Event(obs.PhaseExplore, "node", int64(depth))
 	}
 	if s.maxNodes > 0 && s.stats.Nodes > s.maxNodes {
 		s.budgetHit = true
+		s.probe.abort("node_budget", depth)
 		return
 	}
 	if s.checkAbort && s.stats.Nodes&deadlineNodeMask == 0 && s.aborted() {
 		s.budgetHit = true
+		s.probe.abort(s.abortCause(), depth)
 		return
 	}
 	need := s.q.P - depth
@@ -357,6 +394,7 @@ func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 			s.stats.OracleCalls++
 			if s.checkAbort && s.stats.OracleCalls&deadlineOracleMask == 0 && s.aborted() {
 				s.budgetHit = true
+				s.probe.abort(s.abortCause(), depth)
 				s.candBuf[depth] = child
 				return
 			}
@@ -381,6 +419,9 @@ func (s *searcher) explore(cands []candidate, covered bitset.Set, depth int) {
 		if s.budgetHit {
 			return
 		}
+		if depth == 0 && s.probe != nil {
+			s.probe.rootDone()
+		}
 	}
 }
 
@@ -391,6 +432,9 @@ func (s *searcher) offer(coverage int) {
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	if !s.heap.Offer(members, coverage) {
 		return
+	}
+	if s.probe != nil {
+		s.probe.offerAccepted(coverage, s.heap.Threshold())
 	}
 	if s.slice != nil {
 		s.offers = append(s.offers, PartialOffer{

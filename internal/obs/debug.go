@@ -18,6 +18,7 @@ import (
 //	/debug/requests      — the flight recorder's recent-request ring (JSON)
 //	/debug/requests/slow — the slow-query log: top-K by latency (JSON)
 //	/debug/inflight      — currently executing requests with elapsed time
+//	/debug/search        — in-flight searches with live progress snapshots
 //	/debug/traces        — the tail-sampled trace store listing (JSON)
 //	/debug/traces/{id}   — one trace (JSON; ?format=waterfall for ASCII)
 //
@@ -46,6 +47,9 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/inflight", func(w http.ResponseWriter, r *http.Request) {
 		DefaultRecorder().InflightHandler().ServeHTTP(w, r)
 	})
+	mux.HandleFunc("GET /debug/search", func(w http.ResponseWriter, r *http.Request) {
+		DefaultSearchTable().Handler().ServeHTTP(w, r)
+	})
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		DefaultTraceStore().HandleTraces(w, r)
 	})
@@ -62,7 +66,7 @@ func DebugMux(reg *Registry) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "ktg debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/requests\n/debug/requests/slow\n/debug/inflight\n/debug/traces\n")
+		fmt.Fprint(w, "ktg debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/requests\n/debug/requests/slow\n/debug/inflight\n/debug/search\n/debug/traces\n")
 	})
 	return mux
 }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SearchRow is one in-flight search registered with a SearchTable. The
+// identity fields are immutable after Register; Progress is a closure
+// returning the search's latest self-published progress snapshot (obs
+// sits below the search core, so the snapshot stays untyped here — it
+// must marshal cleanly to JSON). A nil Progress renders as null.
+type SearchRow struct {
+	ID        string    `json:"id"`
+	Endpoint  string    `json:"endpoint"`
+	Dataset   string    `json:"dataset,omitempty"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	Start     time.Time `json:"start"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+	Progress  func() any `json:"-"`
+}
+
+// searchRowJSON is the rendered form: the closure is resolved into a
+// plain field at serve time.
+type searchRowJSON struct {
+	SearchRow
+	Snapshot any `json:"progress"`
+}
+
+// SearchTable tracks the searches currently executing in this process
+// so /debug/search can answer "what is running right now and how far
+// along is it". Registration is cheap (one map insert under a short
+// mutex); per-node search progress never touches the table — rows pull
+// snapshots through their Progress closures only when the table is
+// rendered.
+type SearchTable struct {
+	mu   sync.Mutex
+	rows map[string]*SearchRow
+}
+
+// NewSearchTable builds an empty table.
+func NewSearchTable() *SearchTable {
+	return &SearchTable{rows: make(map[string]*SearchRow)}
+}
+
+// Register adds one in-flight search and returns an idempotent remove
+// func, meant to be deferred so rows vanish even when the search
+// panics.
+func (t *SearchTable) Register(row SearchRow) func() {
+	if row.Start.IsZero() {
+		row.Start = time.Now()
+	}
+	t.mu.Lock()
+	t.rows[row.ID] = &row
+	t.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			delete(t.rows, row.ID)
+			t.mu.Unlock()
+		})
+	}
+}
+
+// Rows returns the in-flight searches oldest first, with elapsed time
+// and progress snapshots resolved relative to now.
+func (t *SearchTable) Rows() []searchRowJSON {
+	now := time.Now()
+	t.mu.Lock()
+	rows := make([]*SearchRow, 0, len(t.rows))
+	for _, r := range t.rows {
+		rows = append(rows, r)
+	}
+	t.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Start.Before(rows[j].Start) })
+	out := make([]searchRowJSON, 0, len(rows))
+	for _, r := range rows {
+		j := searchRowJSON{SearchRow: *r}
+		j.ElapsedNS = now.Sub(r.Start).Nanoseconds()
+		if r.Progress != nil {
+			j.Snapshot = r.Progress()
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// Handler serves the table as JSON ({"searches": [...]}), oldest first.
+func (t *SearchTable) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeDebugJSON(w, map[string]any{"searches": t.Rows()})
+	})
+}
+
+// defaultSearchTable is the process-wide table served by DebugMux and
+// the server's embedded /debug/search route.
+var defaultSearchTable atomic.Pointer[SearchTable]
+
+// DefaultSearchTable returns the process-wide in-flight search table,
+// creating it on first use.
+func DefaultSearchTable() *SearchTable {
+	if t := defaultSearchTable.Load(); t != nil {
+		return t
+	}
+	t := NewSearchTable()
+	if defaultSearchTable.CompareAndSwap(nil, t) {
+		return t
+	}
+	return defaultSearchTable.Load()
+}

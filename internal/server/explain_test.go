@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+const explainBody = `{"dataset":"reviewers","keywords":["SN","QP","DQ","GQ","GD"],"group_size":3,"tenuity":1,"top_n":2,"explain":true}`
+
+// TestExplainResponse: "explain": true returns a structured explain
+// block and fully bypasses the result cache — the plan describes this
+// request's actual search, so it can never be served from (or stored
+// into) the cache.
+func TestExplainResponse(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	assertExplained := func(rec interface{ Header() http.Header }, out map[string]any) map[string]any {
+		t.Helper()
+		if out["cache"] != "bypass" {
+			t.Fatalf("explain run cache status = %v, want bypass", out["cache"])
+		}
+		if rec.Header().Get("X-KTG-Cache") != "bypass" {
+			t.Fatalf("X-KTG-Cache = %q, want bypass", rec.Header().Get("X-KTG-Cache"))
+		}
+		ex, ok := out["explain"].(map[string]any)
+		if !ok {
+			t.Fatalf("response lacks explain block: %v", out)
+		}
+		return ex
+	}
+
+	// Twice in a row: both must execute and say "bypass" (the first run
+	// must not have populated the cache for the second).
+	for i := 0; i < 2; i++ {
+		rec, out := postJSON(t, h, "/v1/query", explainBody)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("explain query %d: %d %v", i, rec.Code, out)
+		}
+		ex := assertExplained(rec, out)
+		if ex["algorithm"] != "vkc-deg" {
+			t.Errorf("explain algorithm = %v", ex["algorithm"])
+		}
+		if n, _ := ex["nodes"].(float64); n <= 0 {
+			t.Errorf("explain nodes = %v, want > 0", ex["nodes"])
+		}
+		if fb, _ := ex["final_best"].(float64); fb <= 0 {
+			t.Errorf("explain final_best = %v, want > 0", ex["final_best"])
+		}
+		depths, _ := ex["depths"].([]any)
+		if len(depths) != 3 {
+			t.Errorf("explain depths rows = %d, want group_size 3", len(depths))
+		}
+		if _, ok := ex["bound_trajectory"].([]any); !ok {
+			t.Errorf("explain lacks bound trajectory: %v", ex)
+		}
+	}
+
+	// The same query without explain must be a cache MISS (the explain
+	// runs stored nothing), then a HIT — and neither carries a plan.
+	plain := `{"dataset":"reviewers","keywords":["SN","QP","DQ","GQ","GD"],"group_size":3,"tenuity":1,"top_n":2}`
+	for i, want := range []string{"miss", "hit"} {
+		rec, out := postJSON(t, h, "/v1/query", plain)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("plain query %d: %d %v", i, rec.Code, out)
+		}
+		if out["cache"] != want {
+			t.Errorf("plain query %d cache status = %v, want %s", i, out["cache"], want)
+		}
+		if out["explain"] != nil {
+			t.Errorf("plain query %d unexpectedly carries an explain block", i)
+		}
+	}
+}
+
+// TestExplainDiverseAndPartial: the explain flag works on /v1/diverse
+// (one probe accumulating across the sequential DKTG sub-searches) and
+// on the scatter endpoint /v1/query/partial.
+func TestExplainDiverseAndPartial(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	rec, out := postJSON(t, h, "/v1/diverse",
+		`{"dataset":"reviewers","keywords":["SN","QP","DQ","GQ","GD"],"group_size":3,"tenuity":1,"top_n":2,"gamma":0.5,"explain":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("diverse explain: %d %v", rec.Code, out)
+	}
+	if out["cache"] != "bypass" {
+		t.Errorf("diverse explain cache status = %v, want bypass", out["cache"])
+	}
+	ex, ok := out["explain"].(map[string]any)
+	if !ok {
+		t.Fatalf("diverse response lacks explain block: %v", out)
+	}
+	if n, _ := ex["nodes"].(float64); n <= 0 {
+		t.Errorf("diverse explain nodes = %v, want > 0", ex["nodes"])
+	}
+
+	rec, out = postJSON(t, h, "/v1/query/partial",
+		`{"dataset":"reviewers","keywords":["SN","QP","DQ","GQ","GD"],"group_size":3,"tenuity":1,"top_n":2,"slice_count":2,"slice_index":0,"explain":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial explain: %d %v", rec.Code, out)
+	}
+	ex, ok = out["explain"].(map[string]any)
+	if !ok {
+		t.Fatalf("partial response lacks explain block: %v", out)
+	}
+	if ex["algorithm"] == nil {
+		t.Errorf("partial explain lacks algorithm: %v", ex)
+	}
+}
+
+// TestExplainEpochStamped: on a live dataset the explain block carries
+// the epoch the search ran against, matching the response's own stamp.
+func TestExplainEpochStamped(t *testing.T) {
+	s := newMutableTestServer(t, Config{})
+	h := s.Handler()
+
+	// Mutate once so the epoch advances past its initial value.
+	rec, out := postJSON(t, h, "/v1/edges",
+		`{"dataset":"reviewers","edges":[{"op":"insert","u":5,"v":11}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutation: %d %v", rec.Code, out)
+	}
+
+	rec, out = postJSON(t, h, "/v1/query", explainBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain on live dataset: %d %v", rec.Code, out)
+	}
+	ex, ok := out["explain"].(map[string]any)
+	if !ok {
+		t.Fatalf("live response lacks explain block: %v", out)
+	}
+	epoch, _ := ex["epoch"].(float64)
+	if epoch == 0 {
+		t.Fatalf("live explain lacks epoch stamp: %v", ex)
+	}
+	if respEpoch, _ := out["epoch"].(float64); respEpoch != epoch {
+		t.Errorf("explain epoch %v != response epoch %v", epoch, respEpoch)
+	}
+}

@@ -65,6 +65,19 @@ var (
 	mDatasetsLatency = obs.Default().Histogram(
 		"ktg_server_datasets_latency_ns", "end-to-end GET /v1/datasets latency in nanoseconds")
 
+	// Explain / search-introspection series. The improvement-time
+	// histograms are fed by the always-on search probe, so they cover
+	// every served search, not just explain requests: time-to-first-
+	// result is how long until the heap held anything, time-to-final-
+	// improvement how long until the answer stopped changing — the gap
+	// to total latency is pure proof-of-optimality work.
+	mExplainRequests = obs.Default().Counter(
+		"ktg_search_explain_requests_total", "searches that returned a structured explain plan")
+	mFirstResultNS = obs.Default().Histogram(
+		"ktg_search_first_result_ns", "time until the first group was accepted into the top-N, in nanoseconds")
+	mFinalImprovementNS = obs.Default().Histogram(
+		"ktg_search_final_improvement_ns", "time until the last top-N improvement, in nanoseconds")
+
 	// Search-effort split by dataset and algorithm (the process-wide
 	// ktg_search_* totals stay unlabeled; these attribute the same effort
 	// to tenants).

@@ -45,6 +45,10 @@ type PartialResponse struct {
 	Partial       bool            `json:"partial,omitempty"`
 	PartialReason string          `json:"partial_reason,omitempty"`
 	Stats         ktg.SearchStats `json:"stats"`
+	// Explain is this slice's structured explain plan, present only when
+	// the request set "explain": true. The coordinator merges the
+	// per-shard plans into one (ktg.MergeExplains) before answering.
+	Explain *ktg.Explain `json:"explain,omitempty"`
 	// Epoch is the dataset epoch the slice was computed on (mutable
 	// datasets only). The coordinator refuses to merge slices from
 	// different epochs — a cross-epoch merge would mix two topologies
@@ -178,6 +182,10 @@ func (s *Server) runPartial(reqCtx context.Context, req *QueryRequest, ds *Datas
 	ctx, cancel := context.WithTimeout(reqCtx, timeout)
 	defer cancel()
 
+	probe := &ktg.Probe{}
+	unregister := s.registerSearch(reqRec.ID, kindPartial, ds.Name, req.Algorithm, probe)
+	defer unregister()
+
 	ctx, searchSpan := obs.StartChild(ctx, "search.partial")
 	defer func() {
 		if searchSpan == nil {
@@ -189,6 +197,12 @@ func (s *Server) runPartial(reqCtx context.Context, req *QueryRequest, ds *Datas
 		if resp != nil {
 			searchSpan.SetAttr("offers", strconv.Itoa(len(resp.Offers)))
 			searchSpan.SetAttr("nodes", strconv.FormatInt(resp.Stats.Nodes, 10))
+		}
+		if pe := probe.Explain(); pe != nil {
+			searchSpan.SetAttr("final_threshold", strconv.Itoa(pe.FinalThresh))
+			searchSpan.SetAttr("pruned", strconv.FormatInt(pe.Pruned, 10))
+			searchSpan.SetAttr("filtered", strconv.FormatInt(pe.Filtered, 10))
+			searchSpan.SetAttr("roots_explored", strconv.FormatInt(pe.RootsExplored, 10))
 		}
 		searchSpan.End()
 	}()
@@ -218,6 +232,7 @@ func (s *Server) runPartial(reqCtx context.Context, req *QueryRequest, ds *Datas
 		Context:   ctx,
 		Logger:    logger,
 		Tracer:    phases,
+		Probe:     probe,
 	}
 	defer func() { reqRec.Phases = phases.Spans() }()
 
@@ -273,6 +288,17 @@ func (s *Server) runPartial(reqCtx context.Context, req *QueryRequest, ds *Datas
 	if resp.Partial {
 		mPartial.Inc()
 		mPartialTruncated.Inc()
+	}
+	pe := probe.Explain()
+	if pe.TimeToFirstNS > 0 {
+		mFirstResultNS.Observe(pe.TimeToFirstNS)
+		mFinalImprovementNS.Observe(pe.TimeToFinalNS)
+	}
+	if req.Explain {
+		mExplainRequests.Inc()
+		pe.Algorithm = resp.Algorithm
+		pe.Epoch = epoch
+		resp.Explain = pe
 	}
 	return resp, nil
 }

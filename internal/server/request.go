@@ -67,6 +67,13 @@ type QueryRequest struct {
 	// size, SliceIndex in [0, SliceCount).
 	SliceIndex int `json:"slice_index,omitempty"`
 	SliceCount int `json:"slice_count,omitempty"`
+	// Explain asks for a structured explain plan of this execution
+	// (bound trajectory, per-depth prune/filter breakdown, live-search
+	// timings) in the response. Explain runs bypass the result cache
+	// and singleflight — the plan must describe the search that
+	// actually ran for this request — so they are never cached and
+	// never shared.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // GroupJSON is one result group on the wire.
@@ -105,9 +112,13 @@ type QueryResponse struct {
 	// guarantees it is still the current answer, but the stamp stays
 	// honest about provenance.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Explain is the structured explain plan, present only when the
+	// request asked for it. Epoch-stamped on live datasets.
+	Explain *ktg.Explain `json:"explain,omitempty"`
 	// Cache reports how this response was produced: "miss" (a search
-	// ran for this request), "hit" (served from the result cache), or
-	// "shared" (joined an identical in-flight search).
+	// ran for this request), "hit" (served from the result cache),
+	// "shared" (joined an identical in-flight search), or "bypass"
+	// (an explain run, which never touches the cache).
 	Cache string `json:"cache"`
 }
 

@@ -222,6 +222,7 @@ func (s *Server) traceStore() *obs.TraceStore {
 //	GET  /debug/requests       flight recorder: recent completed requests
 //	GET  /debug/requests/slow  slow-query log (top-K by latency)
 //	GET  /debug/inflight       currently executing requests
+//	GET  /debug/search         in-flight searches with live progress snapshots
 //	GET  /debug/traces         tail-sampled trace store listing
 //	GET  /debug/traces/{id}    one trace (JSON; ?format=waterfall for ASCII)
 //
@@ -253,6 +254,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /debug/requests", s.recorder.RecentHandler())
 	mux.Handle("GET /debug/requests/slow", s.recorder.SlowHandler())
 	mux.Handle("GET /debug/inflight", s.recorder.InflightHandler())
+	mux.HandleFunc("GET /debug/search", func(w http.ResponseWriter, r *http.Request) {
+		obs.DefaultSearchTable().Handler().ServeHTTP(w, r)
+	})
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		s.traceStore().HandleTraces(w, r)
 	})
@@ -376,6 +380,36 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, kind string
 
 	key := req.cacheKey(kind)
 	rec.ParamsDigest = key[:16]
+
+	// Explain runs bypass the result cache and the singleflight group
+	// entirely: the plan must describe the execution that answered this
+	// request, a cached or joined answer has no such execution, and
+	// storing an explain-bearing response would leak one request's plan
+	// to every later hit. The cache status says "bypass".
+	if req.Explain {
+		mExplainRequests.Inc()
+		span.Event("cache.bypass", 0)
+		resp, _, err := s.runSearch(r.Context(), req, ds, kind, rec)
+		if err != nil {
+			rec.Outcome, rec.Error = obs.OutcomeError, err.Error()
+			s.writeError(w, r, err)
+			return
+		}
+		switch {
+		case resp.Degraded:
+			rec.Outcome = obs.OutcomeDegraded
+		case resp.Partial:
+			rec.Outcome = obs.OutcomePartial
+		default:
+			rec.Outcome = obs.OutcomeOK
+		}
+		rec.Stats, rec.Epoch = resp.Stats, resp.Epoch
+		mSearchNodesSplit.With(dsLabel, algLabel).Add(resp.Stats.Nodes)
+		mSearchChecksSplit.With(dsLabel, algLabel).Add(resp.Stats.DistanceChecks)
+		s.writeResponse(w, resp, "bypass")
+		return
+	}
+
 	if resp, ok := s.cache.lookup(key); ok {
 		mCacheHits.Inc()
 		span.Event("cache.hit", 0)
@@ -477,8 +511,19 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 	ctx, cancel := context.WithTimeout(reqCtx, timeout)
 	defer cancel()
 
+	// Every admitted search carries a probe: it feeds the /debug/search
+	// in-flight table, the improvement-time histograms, and — when the
+	// request asked — the explain block. When nobody looks, the probe
+	// costs the hot path one branch and counter bump per node.
+	probe := &ktg.Probe{}
+	unregister := s.registerSearch(reqRec.ID, kind, ds.Name, req.Algorithm, probe)
+	defer unregister()
+
 	// The search child span wraps the whole core call; the core hangs
-	// its own compile/candidates/explore children off it via ctx.
+	// its own compile/candidates/explore children off it via ctx. The
+	// probe-derived attrs put pruning efficacy (final bound, cut
+	// totals, frontier coverage) on the waterfall without a separate
+	// explain request.
 	ctx, searchSpan := obs.StartChild(ctx, "search."+kind)
 	defer func() {
 		if searchSpan == nil {
@@ -491,6 +536,12 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 			searchSpan.SetAttr("algorithm", resp.Algorithm)
 			searchSpan.SetAttr("nodes", strconv.FormatInt(resp.Stats.Nodes, 10))
 			searchSpan.SetAttr("distance_checks", strconv.FormatInt(resp.Stats.DistanceChecks, 10))
+		}
+		if pe := probe.Explain(); pe != nil {
+			searchSpan.SetAttr("final_threshold", strconv.Itoa(pe.FinalThresh))
+			searchSpan.SetAttr("pruned", strconv.FormatInt(pe.Pruned, 10))
+			searchSpan.SetAttr("filtered", strconv.FormatInt(pe.Filtered, 10))
+			searchSpan.SetAttr("roots_explored", strconv.FormatInt(pe.RootsExplored, 10))
 		}
 		searchSpan.End()
 	}()
@@ -542,6 +593,7 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 		Context:   ctx,
 		Logger:    logger,
 		Tracer:    phases,
+		Probe:     probe,
 	}
 	defer func() { reqRec.Phases = phases.Spans() }()
 
@@ -608,9 +660,46 @@ func (s *Server) runSearch(reqCtx context.Context, req *QueryRequest, ds *Datase
 	if resp.Partial {
 		mPartial.Inc()
 	}
+	pe := probe.Explain()
+	if pe.TimeToFirstNS > 0 {
+		mFirstResultNS.Observe(pe.TimeToFirstNS)
+		mFinalImprovementNS.Observe(pe.TimeToFinalNS)
+	}
+	if req.Explain {
+		pe.Algorithm = resp.Algorithm
+		pe.Epoch = epoch
+		resp.Explain = pe
+	}
 	// Partial and degraded results are request-specific compromises, not
 	// the query's true answer — never cache or share them.
 	return resp, !resp.Partial && !resp.Degraded, nil
+}
+
+// registerSearch puts one in-flight search on the process-wide
+// /debug/search table and returns the removal func to defer. The row's
+// Progress closure pulls the probe's latest snapshot only when the
+// table is rendered, so registration adds nothing to the search path.
+func (s *Server) registerSearch(id, kind, dataset, algorithm string, probe *ktg.Probe) func() {
+	if id == "" {
+		id = ktg.NewRequestID()
+	}
+	if algorithm == "" {
+		algorithm = "vkc-deg"
+	}
+	endpoint := "/v1/query"
+	switch kind {
+	case kindDiverse:
+		endpoint = "/v1/diverse"
+	case kindPartial:
+		endpoint = "/v1/query/partial"
+	}
+	return obs.DefaultSearchTable().Register(obs.SearchRow{
+		ID:        id,
+		Endpoint:  endpoint,
+		Dataset:   dataset,
+		Algorithm: algorithm,
+		Progress:  func() any { return probe.Snapshot() },
+	})
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {

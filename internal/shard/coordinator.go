@@ -181,6 +181,7 @@ func (co *Coordinator) traceStore() *obs.TraceStore {
 //	GET  /healthz, /readyz     liveness / readiness (readyz fails while draining)
 //	GET  /metrics              the shared obs registry (ktg_coord_* and ktg_client_*)
 //	GET  /debug/requests[...]  flight recorder, as on a single-node server
+//	GET  /debug/search         fleet-wide in-flight searches (each shard's table, tagged by shard)
 //	GET  /debug/traces[/{id}]  tail-sampled coordinator trace store
 //
 // Requests carry the same X-Request-Id / X-Trace-Id contract as a
@@ -208,6 +209,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.Handle("GET /debug/requests", co.recorder.RecentHandler())
 	mux.Handle("GET /debug/requests/slow", co.recorder.SlowHandler())
 	mux.Handle("GET /debug/inflight", co.recorder.InflightHandler())
+	mux.HandleFunc("GET /debug/search", co.handleDebugSearch)
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		co.traceStore().HandleTraces(w, r)
 	})

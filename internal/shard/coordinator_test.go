@@ -156,6 +156,117 @@ func TestCoordinatorMatchesSingleNode(t *testing.T) {
 	}
 }
 
+// TestCoordinatorExplainMergeEqualsSingleNode: the headline explain
+// acceptance criterion. An exact query with "explain": true through the
+// 2-shard coordinator returns a merged plan whose summed per-depth
+// expand/prune/filter rows equal a direct single-node explain of the
+// same query. Equality (not just comparability) holds because the query
+// uses a top_n large enough that no heap ever fills: the top-N
+// threshold stays -1 everywhere, so zero Theorem 2 bound prunes fire
+// and the disjoint root partitions sum to exactly the single-node
+// traversal. Theorem 3 k-line filtering is threshold-independent, so
+// those rows match unconditionally.
+func TestCoordinatorExplainMergeEqualsSingleNode(t *testing.T) {
+	single := startShard(t, server.Config{MaxTopN: 500})
+	shards := []*httptest.Server{
+		startShard(t, server.Config{MaxTopN: 500}),
+		startShard(t, server.Config{MaxTopN: 500}),
+	}
+	co := newCoordinator(t, Config{Shards: []string{shards[0].URL, shards[1].URL}, MaxTopN: 500})
+
+	// top_n=300 exceeds C(12,3)=220, the number of size-3 groups the
+	// 12-vertex network can possibly hold, so the heap can never fill and
+	// the per-shard searches do exactly the work the single node does.
+	body := `{"dataset":"reviewers","keywords":["SN","QP","DQ","GQ","GD"],"group_size":3,"tenuity":1,"top_n":300,"explain":true}`
+
+	type explained struct {
+		Groups  []any        `json:"groups"`
+		Explain *ktg.Explain `json:"explain"`
+		Cache   string       `json:"cache"`
+	}
+	res, err := http.Post(single.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want explained
+	if err := json.NewDecoder(res.Body).Decode(&want); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("single-node explain query: %d", res.StatusCode)
+	}
+	if want.Explain == nil {
+		t.Fatal("single-node response lacks explain block")
+	}
+	if want.Explain.FinalThresh != -1 {
+		t.Fatalf("test query filled the heap (threshold %d); pick a larger top_n", want.Explain.FinalThresh)
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	co.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("coordinator explain query: %d %s", rec.Code, rec.Body.String())
+	}
+	var got explained
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Explain == nil {
+		t.Fatal("coordinator response lacks merged explain block")
+	}
+	if got.Cache != "bypass" {
+		t.Errorf("coordinator explain cache status = %q, want bypass", got.Cache)
+	}
+	me, se := got.Explain, want.Explain
+
+	if !reflect.DeepEqual(got.Groups, want.Groups) {
+		t.Fatalf("scattered groups differ from single node:\nwant %v\ngot  %v", want.Groups, got.Groups)
+	}
+	if len(me.Shards) != 2 {
+		t.Fatalf("merged explain has %d shard entries, want 2: %+v", len(me.Shards), me.Shards)
+	}
+	for i, s := range me.Shards {
+		if s.Shard != i+1 {
+			t.Errorf("shard entry %d has ordinal %d", i, s.Shard)
+		}
+		if s.URL != shards[i].URL {
+			t.Errorf("shard entry %d URL = %q, want %q", i, s.URL, shards[i].URL)
+		}
+	}
+	if me.Algorithm == "" {
+		t.Error("merged explain lacks algorithm")
+	}
+
+	// The summed totals must equal the single-node traversal exactly.
+	// Nodes is off by exactly one per extra shard: every search counts
+	// one depth-0 entry node (the bookkeeping the depth rows exclude),
+	// and two partial searches enter once each where the single node
+	// enters once.
+	if me.Nodes-int64(len(me.Shards)) != se.Nodes-1 || me.Pruned != se.Pruned || me.Filtered != se.Filtered {
+		t.Errorf("merged totals differ: nodes %d/%d pruned %d/%d filtered %d/%d (merged/single)",
+			me.Nodes, se.Nodes, me.Pruned, se.Pruned, me.Filtered, se.Filtered)
+	}
+	if me.RootsTotal != se.RootsTotal || me.RootsExplored != se.RootsExplored {
+		t.Errorf("merged roots differ: %d/%d explored, %d/%d total (merged/single)",
+			me.RootsExplored, se.RootsExplored, me.RootsTotal, se.RootsTotal)
+	}
+	// And so must every per-depth expand/prune/filter row.
+	if len(me.Depths) != len(se.Depths) {
+		t.Fatalf("depth rows differ: merged %d, single %d", len(me.Depths), len(se.Depths))
+	}
+	for d := range se.Depths {
+		if me.Depths[d] != se.Depths[d] {
+			t.Errorf("depth %d row differs: merged %+v, single %+v", d, me.Depths[d], se.Depths[d])
+		}
+	}
+	if me.FinalBest != se.FinalBest {
+		t.Errorf("final best differs: merged %d, single %d", me.FinalBest, se.FinalBest)
+	}
+}
+
 // TestCoordinatorShardLossIsExplicitPartial: one dead shard of two
 // degrades the answer to an explicitly-partial one — 200, valid merged
 // groups, partial:true, shards_failed:1. Never an error, never a

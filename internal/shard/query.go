@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -37,7 +38,11 @@ type QueryResponse struct {
 	// (mutable datasets only). Scattered answers are refused with
 	// shard_epoch_skew rather than merged across epochs.
 	Epoch uint64 `json:"epoch,omitempty"`
-	Cache string `json:"cache"`
+	// Explain is the merged explain plan (per-shard counters summed,
+	// bound trajectories interleaved, per-shard breakdown under
+	// "shards"), present only when the request set "explain": true.
+	Explain *ktg.Explain `json:"explain,omitempty"`
+	Cache   string       `json:"cache"`
 	// ShardsTotal is the fleet size; ShardsFailed counts shards that
 	// produced no usable answer for this query after client retries.
 	ShardsTotal  int `json:"shards_total"`
@@ -128,6 +133,7 @@ func toClientRequest(req *server.QueryRequest) *client.Request {
 		Seeds:         req.Seeds,
 		TimeoutMillis: req.TimeoutMillis,
 		MaxNodes:      req.MaxNodes,
+		Explain:       req.Explain,
 	}
 }
 
@@ -162,6 +168,8 @@ func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, req *serv
 
 	var (
 		parts     []*ktg.PartialResult
+		explains  []*ktg.Explain
+		shardURLs []string
 		offers    int64
 		failed    int
 		lastErr   error
@@ -188,6 +196,10 @@ func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, req *serv
 		}
 		offers += int64(len(resp.Offers))
 		parts = append(parts, resp.PartialResult())
+		if resp.Explain != nil {
+			explains = append(explains, resp.Explain)
+			shardURLs = append(shardURLs, co.shards[i].base)
+		}
 	}
 	if len(parts) == 0 {
 		server.WriteAPIError(w, &server.APIError{
@@ -238,6 +250,17 @@ func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, req *serv
 	}
 	if resp.Algorithm == "" {
 		resp.Algorithm = "vkc-deg"
+	}
+	if req.Explain && len(explains) == len(parts) && len(explains) > 0 {
+		// Sum the per-shard counters and depth rows into one plan; since
+		// the slices partition the frontier, the merged expand/prune/
+		// filter totals are exactly what a single node would have done.
+		resp.Explain = ktg.MergeExplains(explains, shardURLs)
+		resp.Explain.Algorithm = resp.Algorithm
+		resp.Explain.Epoch = epoch
+		// Wire parity with the single node: explain runs are defined as
+		// cache-bypassing, and the shards did bypass theirs.
+		resp.Cache = "bypass"
 	}
 	for _, g := range merged.Groups {
 		resp.Groups = append(resp.Groups, server.GroupJSON{Members: g.Members, Covered: g.Covered, QKC: g.QKC})
@@ -335,6 +358,7 @@ func (co *Coordinator) writeForwarded(w http.ResponseWriter, resp *client.Respon
 		DegradedReason: resp.DegradedReason,
 		Stats:          resp.Stats,
 		Epoch:          resp.Epoch,
+		Explain:        resp.Explain,
 		Cache:          resp.Cache,
 		ShardsTotal:    total,
 		ShardsFailed:   failed,
@@ -430,6 +454,76 @@ func (co *Coordinator) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		Code:    "all_shards_failed",
 		Message: fmt.Sprintf("no shard answered /v1/datasets (last error: %v)", lastErr),
 	})
+}
+
+// handleDebugSearch answers GET /debug/search with the fleet-wide
+// in-flight search table: every shard's /debug/search rows, each tagged
+// with the shard base URL it came from. A shard that fails to answer
+// contributes an error row instead of hiding its searches silently.
+func (co *Coordinator) handleDebugSearch(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	type shardRows struct {
+		rows []map[string]any
+		err  error
+	}
+	results := make([]shardRows, len(co.shards))
+	var wg sync.WaitGroup
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, sh *shardConn) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+"/debug/search", nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			res, err := co.httpc().Do(req)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(res.Body, 8<<20))
+			res.Body.Close()
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			if res.StatusCode != http.StatusOK {
+				results[i].err = fmt.Errorf("shard returned %d", res.StatusCode)
+				return
+			}
+			var wire struct {
+				Searches []map[string]any `json:"searches"`
+			}
+			if err := json.Unmarshal(body, &wire); err != nil {
+				results[i].err = fmt.Errorf("malformed shard table: %w", err)
+				return
+			}
+			results[i].rows = wire.Searches
+		}(i, sh)
+	}
+	wg.Wait()
+
+	searches := make([]map[string]any, 0)
+	var shardErrs []map[string]any
+	for i, res := range results {
+		if res.err != nil {
+			shardErrs = append(shardErrs, map[string]any{
+				"shard": co.shards[i].base, "error": res.err.Error(),
+			})
+			continue
+		}
+		for _, row := range res.rows {
+			row["shard"] = co.shards[i].base
+			searches = append(searches, row)
+		}
+	}
+	out := map[string]any{"searches": searches}
+	if shardErrs != nil {
+		out["shard_errors"] = shardErrs
+	}
+	server.WriteJSON(w, http.StatusOK, out)
 }
 
 // handleInvalidate fans the cache invalidation out to every shard.

@@ -103,6 +103,12 @@ type SearchOptions struct {
 	// and sampled explore events for this search. nil disables tracing
 	// at near-zero hot-path cost.
 	Tracer Tracer
+	// Probe collects a per-query explain plan (bound trajectory,
+	// per-depth prune/filter breakdown) and publishes lock-free live
+	// progress snapshots. nil disables collection at the cost of one
+	// branch per node. Allocate a fresh Probe per query; after the
+	// search returns, read probe.Explain().
+	Probe *Probe
 	// Logger overrides the Network and package-default loggers for this
 	// search. nil inherits.
 	Logger *slog.Logger
@@ -255,6 +261,7 @@ func (n *Network) SearchGreedyWith(q Query, opts SearchOptions, seeds int) (*Res
 		Context: opts.Context,
 		Tracer:  copts.Tracer,
 		Logger:  copts.Logger,
+		Probe:   opts.Probe,
 	}
 	if opts.Index != nil {
 		gopts.Oracle = opts.Index
@@ -308,6 +315,7 @@ func (n *Network) lower(q Query, opts SearchOptions) (core.Query, core.Options) 
 		Context:               opts.Context,
 		ExcludeVertices:       opts.ExcludeMembers,
 		QueryVertices:         opts.QueryVertices,
+		Probe:                 opts.Probe,
 	}
 	if opts.Index != nil {
 		copts.Oracle = opts.Index

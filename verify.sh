@@ -9,6 +9,14 @@ cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
+# staticcheck is best-effort: run it when installed, complain loudly (but
+# do not fail) when it is not, so CI images that carry it get the extra
+# signal without making it a local prerequisite.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "verify: staticcheck not installed; SKIPPING static analysis" >&2
+fi
 ./scripts/check_metrics_docs.sh
 # The observability packages carry the concurrency-heavy request-scope
 # machinery, and internal/live the epoch-swap reader/writer dance;
@@ -16,6 +24,10 @@ go vet ./...
 # the live-mutation chaos soak in internal/server.
 go test -race ./internal/obs ./internal/server ./internal/live
 go test -race ./...
+
+# Perf-drift gate: re-run the committed "small" experiment and fail on
+# >2x regressions against BENCH_small.json (see scripts/check_bench.sh).
+./scripts/check_bench.sh
 
 # --- query-server end-to-end smoke -----------------------------------
 # Boot ktgserver on a random port, answer one KTG and one DKTG query
@@ -168,6 +180,18 @@ done
 
 "$tmp/ktgload" -addr "$coord_addr" -compare-addr "$shard1_addr" \
     -preset brightkite -scale 0.02 -queries 10 -concurrency 2 -seed 42 -n 2
+
+# An exact query with "explain": true through the coordinator must come
+# back with a merged plan attributing both shards, per-depth rows, and
+# cache status "bypass" (explain runs are never cached).
+curl -fsS -X POST "http://$coord_addr/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"dataset":"brightkite","keywords":["kw0000","kw0001","kw0002","kw0003"],"group_size":3,"tenuity":1,"top_n":2,"explain":true}' \
+    >"$tmp/explain.json"
+grep -q '"explain"' "$tmp/explain.json"
+grep -Eq '"shard":[[:space:]]*2' "$tmp/explain.json"
+grep -q '"depths"' "$tmp/explain.json"
+grep -Eq '"cache":[[:space:]]*"bypass"' "$tmp/explain.json"
 
 kill -TERM "$coord_pid"
 wait "$coord_pid"
