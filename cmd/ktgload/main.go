@@ -73,6 +73,8 @@ func main() {
 		compareAddr = flag.String("compare-addr", "", "also run every query against this second endpoint and require identical groups (scatter-gather verification)")
 		mutateRate  = flag.Float64("mutate-rate", 0, "fraction of operations that are edge-mutation batches instead of queries (requires the server to run -mutable)")
 		mutateBatch = flag.Int("mutate-batch", 8, "edge ops per mutation batch when -mutate-rate > 0")
+		epochFile   = flag.String("epoch-file", "", "after the run, record the highest acked mutation epoch in this file (requires -mutate-rate > 0; pairs with -require-epoch-file across a server restart)")
+		reqEpochF   = flag.String("require-epoch-file", "", "before the run, require the server's dataset epoch to be >= the epoch recorded in this file; a lower epoch means an acked mutation vanished across a restart (exit 1)")
 	)
 	flag.Parse()
 	cliutil.MustScale("ktgload", *scale)
@@ -87,6 +89,9 @@ func main() {
 	}
 	if *diverse && *topN <= 0 {
 		*topN = workload.DefaultParams.N
+	}
+	if *epochFile != "" && *mutateRate <= 0 {
+		cliutil.BadUsage("ktgload", "-epoch-file requires -mutate-rate > 0")
 	}
 
 	base := normalizeBase(*addr)
@@ -132,6 +137,9 @@ func main() {
 		os.Exit(1)
 	}
 	waitHealthy(cl)
+	if *reqEpochF != "" {
+		requireEpoch(base, *preset, *reqEpochF)
+	}
 
 	// -compare-addr runs every query against a second endpoint (e.g. a
 	// scatter-gather coordinator vs a direct single shard) and requires
@@ -321,6 +329,78 @@ func main() {
 	if lost > 0 || malformed > 0 || mismatched > 0 {
 		os.Exit(1)
 	}
+	// Only after a fully clean run: every epoch up to maxEpoch was acked,
+	// so a restarted server serving anything lower has lost durability.
+	if *epochFile != "" {
+		if err := os.WriteFile(*epochFile, []byte(strconv.FormatUint(ms.maxEpoch, 10)+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ktgload: writing -epoch-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// requireEpoch enforces the durability contract across a restart: the
+// dataset's served epoch must be at least the one a previous run
+// recorded with -epoch-file. Each acked effective batch advances the
+// epoch by exactly one, so a lower epoch can only mean an acked
+// mutation is missing — a hard failure, not a warning. The poll rides
+// out WAL replay (503s from /v1/datasets while the gate is up).
+func requireEpoch(base, dataset, path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ktgload: reading -require-epoch-file: %v\n", err)
+		os.Exit(1)
+	}
+	want, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ktgload: parsing -require-epoch-file %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		got, err := datasetEpoch(base, dataset)
+		if err == nil {
+			if got < want {
+				fmt.Fprintf(os.Stderr, "ktgload: acked mutation missing after restart: dataset %q serves epoch %d, a previous run acked epoch %d\n",
+					dataset, got, want)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "ktgload: epoch continuity ok (served %d >= acked %d)\n", got, want)
+			return
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "ktgload: -require-epoch-file: /v1/datasets never became ready: %v\n", lastErr)
+	os.Exit(1)
+}
+
+// datasetEpoch reads one dataset's live epoch from /v1/datasets.
+func datasetEpoch(base, dataset string) (uint64, error) {
+	res, err := http.Get(base + "/v1/datasets")
+	if err != nil {
+		return 0, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/v1/datasets: status %d", res.StatusCode)
+	}
+	var wire struct {
+		Datasets []struct {
+			Name  string `json:"name"`
+			Epoch uint64 `json:"epoch"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&wire); err != nil {
+		return 0, err
+	}
+	for _, d := range wire.Datasets {
+		if d.Name == dataset {
+			return d.Epoch, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset %q not in /v1/datasets", dataset)
 }
 
 // normalizeBase turns a host:port or :port address into a base URL.

@@ -74,6 +74,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -94,6 +95,9 @@ func main() {
 		dsName       = flag.String("dataset-name", "dataset", "name for the file-backed dataset")
 		indexKind    = flag.String("index", "nlrnl", "shared distance index per dataset: bfs, nl, nlrnl")
 		mutable      = flag.Bool("mutable", false, "serve datasets in live-mutation mode: POST /v1/edges applies edge batches via epoch-swapped copy-on-write (bfs, nl, nlrnl indexes)")
+		walDir       = flag.String("wal-dir", "", "durable-mutation mode (requires -mutable): write-ahead-log every acked edge batch under <dir>/<dataset>/ and recover the exact pre-crash epoch on restart")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always (ack = durable), interval (background fsync), off (OS decides)")
+		walCkptEvery = flag.Uint64("wal-checkpoint-every", 64, "snapshot the live graph and retire WAL segments every N epochs (0 disables checkpointing)")
 		snapshots    = flag.String("snapshots", "", "directory for index snapshots: load on startup when valid, rebuild and re-save otherwise (empty = always build in memory)")
 		degradeWait  = flag.Duration("degrade-wait", 500*time.Millisecond, "queue wait beyond which exact searches degrade to greedy (negative disables)")
 		workers      = flag.Int("workers", 0, "max concurrent searches (0 = GOMAXPROCS)")
@@ -128,6 +132,10 @@ func main() {
 	if len(presetNames) == 0 && *edges == "" {
 		cliutil.BadUsage("ktgserver", "nothing to serve: give -presets and/or -edges")
 	}
+	if *walDir != "" && !*mutable {
+		cliutil.BadUsage("ktgserver", "-wal-dir only makes sense with -mutable")
+	}
+	cliutil.MustChoice("ktgserver", "wal-sync", *walSync, "always", "interval", "off")
 
 	level := slog.LevelInfo
 	if *verbose {
@@ -186,20 +194,60 @@ func main() {
 		}
 	}
 
+	// The root handler is swappable so a durable (-wal-dir) boot can open
+	// the listener before WAL recovery: probes and early clients get the
+	// RecoveryGate's honest 503 {"replaying": true, ...} instead of a
+	// connection refusal, and the serving handler is swapped in once
+	// every dataset has republished its pre-crash epoch.
+	root := &swapHandler{}
+	baseCtx, forceCancel := context.WithCancel(context.Background())
+	defer forceCancel()
+	httpSrv := &http.Server{
+		Handler:           root,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	serveErr := make(chan error, 1)
+	var ln net.Listener
+	listen := func(fields ...any) {
+		var err error
+		if ln, err = net.Listen("tcp", *addr); err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("ktgserver listening",
+			append([]any{"addr", ln.Addr().String()}, fields...)...)
+		go func() { serveErr <- httpSrv.Serve(ln) }()
+	}
+
+	var dur *durability
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fatal(logger, err)
+		}
+		dur = &durability{
+			baseDir:         *walDir,
+			sync:            *walSync,
+			checkpointEvery: *walCkptEvery,
+			gate:            server.NewRecoveryGate(),
+		}
+		root.set(dur.gate.Handler())
+		listen("recovering", true, "wal_dir", *walDir, "wal_sync", *walSync)
+	}
+
 	var datasets []*server.Dataset
 	for _, name := range presetNames {
 		nw, err := ktg.GeneratePreset(name, *scale)
 		if err != nil {
 			fatal(logger, err)
 		}
-		datasets = append(datasets, prepare(logger, name, nw, *indexKind, *snapshots, *mutable))
+		datasets = append(datasets, prepare(logger, name, nw, *indexKind, *snapshots, *mutable, dur))
 	}
 	if *edges != "" {
 		nw, err := loadNetwork(*edges, *attrs)
 		if err != nil {
 			fatal(logger, err)
 		}
-		datasets = append(datasets, prepare(logger, *dsName, nw, *indexKind, *snapshots, *mutable))
+		datasets = append(datasets, prepare(logger, *dsName, nw, *indexKind, *snapshots, *mutable, dur))
 	}
 
 	srv, err := server.New(server.Config{
@@ -235,26 +283,16 @@ func main() {
 			"spec", spec.String(), "seed", spec.Seed, "scoped_paths", strings.Join(spec.Paths(), ","))
 	}
 
-	// baseCtx parents every request context; cancelling it is the
-	// force-stop lever when draining overruns its budget.
-	baseCtx, forceCancel := context.WithCancel(context.Background())
-	defer forceCancel()
-	httpSrv := &http.Server{
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	root.set(handler)
+	if dur == nil {
+		listen("datasets", len(datasets), "workers", srv.Workers(), "queue", srv.QueueDepth())
+	} else {
+		logger.Info("ktgserver ready; wal recovery finished for all datasets",
+			"datasets", len(datasets), "workers", srv.Workers(), "queue", srv.QueueDepth())
 	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatal(logger, err)
-	}
-	logger.Info("ktgserver listening", "addr", ln.Addr().String(),
-		"datasets", len(datasets), "workers", srv.Workers(), "queue", srv.QueueDepth())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	select {
 	case err := <-serveErr:
@@ -279,7 +317,38 @@ func main() {
 			_ = httpSrv.Close()
 		}
 	}
+	// Flush and release every dataset's WAL after traffic stops; a clean
+	// shutdown leaves nothing for the next boot to replay-truncate.
+	for _, ds := range datasets {
+		if ds.Live != nil {
+			if err := ds.Live.Close(); err != nil {
+				logger.Warn("closing dataset wal", "dataset", ds.Name, "err", err)
+			}
+		}
+	}
 	logger.Info("ktgserver stopped")
+}
+
+// swapHandler atomically swaps the root handler: the RecoveryGate
+// during WAL recovery, the real server afterwards.
+type swapHandler struct{ h atomic.Pointer[http.Handler] }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(&h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := s.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "starting", http.StatusServiceUnavailable)
+}
+
+// durability carries the -wal-* flag surface into dataset preparation.
+type durability struct {
+	baseDir         string
+	sync            string
+	checkpointEvery uint64
+	gate            *server.RecoveryGate
 }
 
 // prepare attaches the logger and builds the shared distance index for
@@ -292,7 +361,7 @@ func main() {
 // the network + index into a ktg.LiveNetwork so POST /v1/edges can
 // publish new epochs; ownership of the index transfers to the live
 // handle, searches resolve it through the current epoch's view.
-func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapDir string, mutable bool) *server.Dataset {
+func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapDir string, mutable bool, dur *durability) *server.Dataset {
 	nw.SetLogger(logger)
 	ds := &server.Dataset{Name: name, Network: nw}
 	start := time.Now()
@@ -306,7 +375,7 @@ func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapD
 	}
 	switch {
 	case indexKind == "bfs":
-		liveWrap(logger, ds, mutable)
+		liveWrap(logger, ds, mutable, dur)
 		logger.Info("dataset ready", "dataset", name, "index", "BFS (per-search)",
 			"mutable", mutable, "vertices", nw.NumVertices(), "edges", nw.NumEdges())
 		return ds
@@ -326,7 +395,7 @@ func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapD
 		logger.Info("index snapshot outcome", "dataset", name, "path", snapPath,
 			"reason", out.Reason, "loaded", out.Loaded, "resaved", out.Saved)
 	}
-	liveWrap(logger, ds, mutable)
+	liveWrap(logger, ds, mutable, dur)
 	logger.Info("dataset ready", "dataset", name, "index", ds.Index.Name(),
 		"build", time.Since(start).Round(time.Millisecond), "mutable", mutable,
 		"vertices", nw.NumVertices(), "edges", nw.NumEdges())
@@ -334,12 +403,29 @@ func prepare(logger *slog.Logger, name string, nw *ktg.Network, indexKind, snapD
 }
 
 // liveWrap makes the dataset mutable when requested; an index without
-// dynamic maintenance is a configuration error, caught at startup.
-func liveWrap(logger *slog.Logger, ds *server.Dataset, mutable bool) {
+// dynamic maintenance is a configuration error, caught at startup. With
+// -wal-dir the live handle is durable: it recovers the dataset's WAL
+// (replaying to the exact pre-crash epoch, reporting progress to the
+// RecoveryGate) and write-ahead-logs every later batch.
+func liveWrap(logger *slog.Logger, ds *server.Dataset, mutable bool, dur *durability) {
 	if !mutable {
 		return
 	}
-	live, err := ktg.NewLiveNetwork(ds.Network, ds.Index)
+	if dur == nil {
+		live, err := ktg.NewLiveNetwork(ds.Network, ds.Index)
+		if err != nil {
+			fatal(logger, err)
+		}
+		ds.Live = live
+		return
+	}
+	live, _, err := ktg.NewLiveNetworkDurable(ds.Network, ds.Index, ktg.WALConfig{
+		Dir:             filepath.Join(dur.baseDir, ds.Name),
+		Sync:            dur.sync,
+		CheckpointEvery: dur.checkpointEvery,
+		Progress:        dur.gate.SetProgress,
+		Logger:          logger,
+	})
 	if err != nil {
 		fatal(logger, err)
 	}

@@ -1,0 +1,295 @@
+package ktg_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"ktg"
+	"ktg/internal/persist"
+	"ktg/internal/wal"
+)
+
+// durableOpen is the test shorthand for a durable live handle over the
+// Figure 1 network with an NLRNL index.
+func durableOpen(t *testing.T, dir string, cfg ktg.WALConfig) (*ktg.LiveNetwork, *ktg.RecoveryStats) {
+	t.Helper()
+	n := reviewerNetwork(t)
+	idx, err := n.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dir = dir
+	ln, stats, err := ktg.NewLiveNetworkDurable(n, idx, cfg)
+	if err != nil {
+		t.Fatalf("NewLiveNetworkDurable: %v", err)
+	}
+	return ln, stats
+}
+
+// answer runs the reviewer query on the current view.
+func answer(t *testing.T, ln *ktg.LiveNetwork) (uint64, []ktg.Group) {
+	t.Helper()
+	v := ln.View()
+	res, err := v.Network.Search(reviewerQuery, ktg.SearchOptions{Index: v.Index})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	return v.Epoch, res.Groups
+}
+
+// TestDurableCrashRecovery proves the core contract end to end: acked
+// mutations survive an abrupt crash (the handle is simply abandoned,
+// never Closed), the restart republishes the exact pre-crash epoch, and
+// a mutated-edge-sensitive query answers identically.
+func TestDurableCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ln, stats := durableOpen(t, dir, ktg.WALConfig{Sync: "always"})
+	if stats.RecordsReplayed != 0 || stats.Epoch != 1 {
+		t.Fatalf("fresh log recovery stats = %+v, want epoch 1, 0 records", stats)
+	}
+	if !ln.Durable() || ln.Recovery() == nil {
+		t.Fatal("durable handle does not report as durable")
+	}
+
+	// Three acked batches, the middle one deliberately half-ignored so
+	// the log must store effective ops only.
+	batches := [][]ktg.EdgeOp{
+		{{Insert: true, U: 1, V: 5}},
+		{{Insert: true, U: 1, V: 5}, {Insert: true, U: 2, V: 7}}, // first op is now a duplicate
+		{{Insert: false, U: 0, V: 1}},
+	}
+	var lastEpoch uint64
+	for i, ops := range batches {
+		res, err := ln.ApplyEdges(ops)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if !res.Swapped {
+			t.Fatalf("batch %d did not swap", i)
+		}
+		lastEpoch = res.Epoch
+	}
+	if lastEpoch != 4 {
+		t.Fatalf("epoch after 3 effective batches = %d, want 4", lastEpoch)
+	}
+	wantEpoch, wantGroups := answer(t, ln)
+	// Crash: no Close, the *Log is abandoned with its file handles.
+
+	ln2, stats2 := durableOpen(t, dir, ktg.WALConfig{Sync: "always"})
+	defer ln2.Close()
+	if stats2.Epoch != lastEpoch || stats2.RecordsReplayed != 3 {
+		t.Fatalf("recovery stats = %+v, want epoch %d from 3 records", stats2, lastEpoch)
+	}
+	if stats2.OpsReplayed != 3 { // effective ops only: 1 + 1 + 1
+		t.Errorf("replayed %d ops, want 3 (the ignored duplicate must not be logged)", stats2.OpsReplayed)
+	}
+	gotEpoch, gotGroups := answer(t, ln2)
+	if gotEpoch != wantEpoch {
+		t.Errorf("recovered epoch %d, want %d", gotEpoch, wantEpoch)
+	}
+	if !reflect.DeepEqual(gotGroups, wantGroups) {
+		t.Errorf("recovered answer differs:\n  before crash %+v\n  after        %+v", wantGroups, gotGroups)
+	}
+
+	// The recovered handle keeps acking and re-minting epochs from the
+	// exact continuation point.
+	res, err := ln2.ApplyEdges([]ktg.EdgeOp{{Insert: true, U: 0, V: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != lastEpoch+1 {
+		t.Errorf("post-recovery epoch %d, want %d", res.Epoch, lastEpoch+1)
+	}
+}
+
+// TestDurableCheckpointRecovery drives enough epochs to cross a
+// checkpoint and proves the restart starts from the snapshot, replays
+// only the suffix, and still lands on the identical state.
+func TestDurableCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ln, _ := durableOpen(t, dir, ktg.WALConfig{Sync: "off", CheckpointEvery: 4})
+
+	// 10 effective single-op batches: epochs 2..11, checkpoints at 4 and
+	// 8 (the later one supersedes the earlier).
+	var lastEpoch uint64
+	for i := 0; i < 10; i++ {
+		u, v := ktg.Vertex(i%6), ktg.Vertex(6+i%6)
+		op := ktg.EdgeOp{Insert: true, U: u, V: v}
+		res, err := ln.ApplyEdges([]ktg.EdgeOp{op})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Swapped {
+			// Toggle collisions delete instead; keep the batch effective.
+			res, err = ln.ApplyEdges([]ktg.EdgeOp{{Insert: false, U: u, V: v}})
+			if err != nil || !res.Swapped {
+				t.Fatalf("batch %d never swapped (%v)", i, err)
+			}
+		}
+		lastEpoch = res.Epoch
+	}
+	wantEpoch, wantGroups := answer(t, ln)
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly one retained checkpoint, got %v", snaps)
+	}
+
+	ln2, stats := durableOpen(t, dir, ktg.WALConfig{Sync: "off", CheckpointEvery: 4})
+	defer ln2.Close()
+	if stats.CheckpointEpoch == 0 {
+		t.Fatal("recovery ignored the checkpoint")
+	}
+	if stats.Epoch != lastEpoch {
+		t.Fatalf("recovered epoch %d, want %d", stats.Epoch, lastEpoch)
+	}
+	if want := int(lastEpoch - stats.CheckpointEpoch); stats.RecordsReplayed != want {
+		t.Errorf("replayed %d records over the epoch-%d checkpoint, want %d",
+			stats.RecordsReplayed, stats.CheckpointEpoch, want)
+	}
+	gotEpoch, gotGroups := answer(t, ln2)
+	if gotEpoch != wantEpoch || !reflect.DeepEqual(gotGroups, wantGroups) {
+		t.Errorf("checkpointed recovery diverged: epoch %d vs %d", gotEpoch, wantEpoch)
+	}
+}
+
+// TestDurableTornTail cuts bytes off the final segment — the on-disk
+// image of a crash mid-append — and requires recovery to truncate the
+// damage, land on the last complete record's epoch, and keep serving.
+func TestDurableTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ln, _ := durableOpen(t, dir, ktg.WALConfig{Sync: "always"})
+	var lastEpoch uint64
+	for i := 0; i < 4; i++ {
+		res, err := ln.ApplyEdges([]ktg.EdgeOp{{Insert: true, U: ktg.Vertex(i), V: ktg.Vertex(7 + i)}})
+		if err != nil || !res.Swapped {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		lastEpoch = res.Epoch
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("want one segment, got %v", segs)
+	}
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	ln2, stats := durableOpen(t, dir, ktg.WALConfig{Sync: "always"})
+	defer ln2.Close()
+	if !stats.TornTail || stats.TornBytes == 0 {
+		t.Errorf("torn tail not reported: %+v", stats)
+	}
+	if stats.Epoch != lastEpoch-1 {
+		t.Errorf("recovered epoch %d, want %d (the last complete record)", stats.Epoch, lastEpoch-1)
+	}
+	v := ln2.View()
+	if hasNeighbor(v.Network, 3, 10) {
+		t.Error("the torn final record's edge survived recovery")
+	}
+	if !hasNeighbor(v.Network, 2, 9) {
+		t.Error("an intact record's edge was lost with the tail")
+	}
+}
+
+func hasNeighbor(n *ktg.Network, u, v ktg.Vertex) bool {
+	for _, w := range n.Neighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDurableBaseMismatch: a WAL recorded for one graph refuses to
+// attach to another.
+func TestDurableBaseMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ln, _ := durableOpen(t, dir, ktg.WALConfig{Sync: "off"})
+	ln.Close()
+
+	b := ktg.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetKeywords(0, "A")
+	other, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ktg.NewLiveNetworkDurable(other, nil, ktg.WALConfig{Dir: dir, Sync: "off"})
+	if !errors.Is(err, persist.ErrFingerprintMismatch) {
+		t.Errorf("foreign base: err = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+// TestDurableReplayDivergence forges a CRC-valid record whose ops do
+// not re-apply effectively (a duplicate of the base topology); recovery
+// must refuse to serve rather than publish a silently divergent view.
+func TestDurableReplayDivergence(t *testing.T) {
+	dir := t.TempDir()
+	n := reviewerNetwork(t)
+	base := baseFingerprint(t, n)
+
+	l, err := wal.Open(wal.Config{Dir: dir, Base: base, Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(func(wal.Record) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Edge 0-1 exists in the base graph: replaying this "insert" applies
+	// 0 of 1 ops, which a faithful log can never produce.
+	if err := l.Append(wal.Record{Epoch: 2, Ops: []wal.EdgeOp{{Insert: true, U: 0, V: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = ktg.NewLiveNetworkDurable(n, nil, ktg.WALConfig{Dir: dir, Sync: "off"})
+	if !errors.Is(err, wal.ErrReplayDiverged) {
+		t.Errorf("forged no-op record: err = %v, want ErrReplayDiverged", err)
+	}
+}
+
+// baseFingerprint extracts the network's base-graph fingerprint the way
+// the WAL records it: by initializing a scratch durable handle and
+// reading the manifest it writes.
+func baseFingerprint(t *testing.T, n *ktg.Network) persist.Fingerprint {
+	t.Helper()
+	scratch := t.TempDir()
+	ln, _, err := ktg.NewLiveNetworkDurable(n, nil, ktg.WALConfig{Dir: scratch, Sync: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	raw, err := os.ReadFile(filepath.Join(scratch, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Base struct {
+			Vertices   uint64 `json:"vertices"`
+			AdjEntries uint64 `json:"adj_entries"`
+			CRC        string `json:"crc"`
+		} `json:"base"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	crc, err := strconv.ParseUint(m.Base.CRC, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return persist.Fingerprint{Vertices: m.Base.Vertices, AdjEntries: m.Base.AdjEntries, CRC: crc}
+}

@@ -1,0 +1,110 @@
+package live
+
+import (
+	"errors"
+	"testing"
+
+	"ktg/internal/graph"
+)
+
+// TestDurabilityBarrierContract pins the ack ordering the WAL depends
+// on: the barrier sees exactly the effective ops and the epoch the
+// batch is about to publish, runs before the view swaps, and a refusal
+// aborts publication entirely — no epoch, no visible change.
+func TestDurabilityBarrierContract(t *testing.T) {
+	g := randomGraph(30, 40, 3)
+	m := newNLRNLManager(t, g)
+
+	var (
+		gotEpoch uint64
+		gotOps   []EdgeOp
+	)
+	m.SetDurability(func(epoch uint64, applied []EdgeOp) error {
+		gotEpoch = epoch
+		gotOps = append([]EdgeOp(nil), applied...)
+		return nil
+	})
+
+	// A mixed batch: one effective insert, one ignored self-loop, one
+	// ignored duplicate of the effective insert.
+	eff := EdgeOp{Insert: true, U: 1, V: 25}
+	if m.Current().Graph.HasEdge(1, 25) {
+		t.Fatal("fixture edge already present; pick another pair")
+	}
+	res, err := m.Apply([]EdgeOp{eff, {Insert: false, U: 2, V: 2}, eff})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !res.Swapped || res.Epoch != 2 {
+		t.Fatalf("swap result = %+v, want epoch 2", res)
+	}
+	if gotEpoch != 2 {
+		t.Errorf("barrier saw epoch %d, want 2", gotEpoch)
+	}
+	if len(gotOps) != 1 || gotOps[0] != eff {
+		t.Errorf("barrier saw ops %v, want exactly the one effective op %v", gotOps, eff)
+	}
+
+	// An all-ignored batch publishes nothing, so the barrier must not
+	// run: nothing to make durable.
+	gotEpoch = 0
+	if _, err := m.Apply([]EdgeOp{{Insert: false, U: 3, V: 3}}); err != nil {
+		t.Fatalf("Apply no-op: %v", err)
+	}
+	if gotEpoch != 0 {
+		t.Error("barrier ran for an all-ignored batch")
+	}
+}
+
+func TestDurabilityBarrierRefusalBlocksPublish(t *testing.T) {
+	g := randomGraph(30, 40, 4)
+	m := newNLRNLManager(t, g)
+	boom := errors.New("disk on fire")
+	m.SetDurability(func(uint64, []EdgeOp) error { return boom })
+
+	before := m.Current()
+	_, err := m.Apply([]EdgeOp{{Insert: true, U: 0, V: 29}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Apply through refusing barrier: err = %v, want %v", err, boom)
+	}
+	after := m.Current()
+	if after != before {
+		t.Error("refused batch still swapped a new view")
+	}
+	if m.Epoch() != 1 {
+		t.Errorf("refused batch minted epoch %d", m.Epoch())
+	}
+	if after.Graph.HasEdge(0, 29) {
+		t.Error("refused insert is visible in the serving view")
+	}
+
+	// Lifting the barrier lets the same batch through at the same epoch:
+	// nothing was half-applied.
+	m.SetDurability(nil)
+	res, err := m.Apply([]EdgeOp{{Insert: true, U: 0, V: 29}})
+	if err != nil {
+		t.Fatalf("Apply after lifting barrier: %v", err)
+	}
+	if !res.Swapped || res.Epoch != 2 {
+		t.Errorf("retry result = %+v, want epoch 2", res)
+	}
+}
+
+func TestNewManagerAt(t *testing.T) {
+	g := randomGraph(20, 25, 5)
+	m := NewManagerAt(NewGraphReplica(graph.MutableFrom(g.Freeze())), 41)
+	if m.Epoch() != 41 {
+		t.Fatalf("NewManagerAt(41) starts at epoch %d", m.Epoch())
+	}
+	res, err := m.Apply([]EdgeOp{{Insert: true, U: 0, V: 19}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 42 || !res.Swapped {
+		t.Errorf("first swap = %+v, want epoch 42", res)
+	}
+	// Epoch 0 normalizes to the canonical starting epoch 1.
+	if m0 := NewManagerAt(NewGraphReplica(graph.MutableFrom(g.Freeze())), 0); m0.Epoch() != 1 {
+		t.Errorf("NewManagerAt(0) starts at epoch %d, want 1", m0.Epoch())
+	}
+}

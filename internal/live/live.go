@@ -86,17 +86,45 @@ type ApplyResult struct {
 	ApplyDur, SwapDur time.Duration
 }
 
+// DurabilityBarrier gates epoch publication on durable storage: it is
+// called with the epoch a batch is about to publish and the ops that
+// actually changed the graph (ignored ops are excluded), after the
+// batch finalized but before the new view becomes visible. If it
+// returns an error the epoch is not published and the batch fails, so
+// an acked mutation is always one the barrier accepted — the property
+// crash recovery relies on.
+type DurabilityBarrier func(epoch uint64, applied []EdgeOp) error
+
 // Manager owns the epoch sequence for one dataset.
 type Manager struct {
-	mu  sync.Mutex // serializes writers; readers never take it
-	cur atomic.Pointer[View]
+	mu      sync.Mutex // serializes writers; readers never take it
+	cur     atomic.Pointer[View]
+	barrier DurabilityBarrier
 }
 
 // NewManager publishes the initial replica as epoch 1.
-func NewManager(r Replica) *Manager {
+func NewManager(r Replica) *Manager { return NewManagerAt(r, 1) }
+
+// NewManagerAt publishes the initial replica as the given epoch.
+// Recovery uses it to resume the pre-crash sequence: the replica is the
+// checkpointed (or base) state and epoch its recorded epoch, so replayed
+// batches republish exactly the epochs they were acked under.
+func NewManagerAt(r Replica, epoch uint64) *Manager {
+	if epoch == 0 {
+		epoch = 1
+	}
 	m := &Manager{}
-	m.cur.Store(&View{Epoch: 1, Graph: r.Freeze(), Replica: r})
+	m.cur.Store(&View{Epoch: epoch, Graph: r.Freeze(), Replica: r})
 	return m
+}
+
+// SetDurability installs the barrier consulted before every epoch
+// publication (nil disables). Install it after recovery replay and
+// before serving traffic; it applies to every later Apply.
+func (m *Manager) SetDurability(b DurabilityBarrier) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.barrier = b
 }
 
 // Current returns the live view. The result is immutable and remains
@@ -120,6 +148,7 @@ func (m *Manager) Apply(ops []EdgeOp) (*ApplyResult, error) {
 	w := cur.Replica.Clone()
 	res := &ApplyResult{Epoch: cur.Epoch}
 	seen := make(map[graph.Vertex]struct{})
+	var effective []EdgeOp // ops that changed the graph, in apply order
 	for _, op := range ops {
 		applied, affected := w.Apply(op)
 		if !applied {
@@ -127,6 +156,7 @@ func (m *Manager) Apply(ops []EdgeOp) (*ApplyResult, error) {
 			continue
 		}
 		res.Applied++
+		effective = append(effective, op)
 		for _, v := range affected {
 			seen[v] = struct{}{}
 		}
@@ -141,6 +171,16 @@ func (m *Manager) Apply(ops []EdgeOp) (*ApplyResult, error) {
 		return nil, fmt.Errorf("live: finalize batch: %w", err)
 	}
 	res.ApplyDur = time.Since(start)
+
+	if m.barrier != nil {
+		// Ack ordering: the batch must be durable before the epoch is
+		// visible. A refused barrier drops the clone — no epoch is
+		// minted, the caller sees an error, and a retry re-applies on
+		// the unchanged current view.
+		if err := m.barrier(cur.Epoch+1, effective); err != nil {
+			return nil, fmt.Errorf("live: durability barrier refused epoch %d: %w", cur.Epoch+1, err)
+		}
+	}
 
 	swapStart := time.Now()
 	next := &View{Epoch: cur.Epoch + 1, Graph: w.Freeze(), Replica: w}

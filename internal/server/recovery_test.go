@@ -1,0 +1,58 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func gateGet(t *testing.T, h http.Handler, path string) (int, http.Header, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("GET %s: body is not JSON: %v (%q)", path, err, rec.Body.String())
+	}
+	return rec.Code, rec.Header(), body
+}
+
+func TestRecoveryGate(t *testing.T) {
+	g := NewRecoveryGate()
+	h := g.Handler()
+
+	// Liveness stays green through replay.
+	code, _, body := gateGet(t, h, "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("/healthz during replay = %d %v, want 200 ok", code, body)
+	}
+
+	// Everything else answers 503 in the documented shape; before any
+	// progress report the remaining count reads 0, not -1.
+	for _, path := range []string{"/readyz", "/v1/query", "/v1/datasets", "/metrics"} {
+		code, hdr, body := gateGet(t, h, path)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("GET %s during replay = %d, want 503", path, code)
+		}
+		if body["replaying"] != true {
+			t.Errorf("GET %s body %v, want replaying=true", path, body)
+		}
+		if body["records_remaining"] != float64(0) {
+			t.Errorf("GET %s records_remaining = %v, want 0 before first progress", path, body["records_remaining"])
+		}
+		if hdr.Get("Retry-After") != "1" {
+			t.Errorf("GET %s Retry-After = %q, want \"1\"", path, hdr.Get("Retry-After"))
+		}
+	}
+
+	// Progress reports surface as the outstanding record count.
+	g.SetProgress(30, 100)
+	if _, _, body := gateGet(t, h, "/readyz"); body["records_remaining"] != float64(70) {
+		t.Errorf("after 30/100, records_remaining = %v, want 70", body["records_remaining"])
+	}
+	g.SetProgress(100, 100)
+	if _, _, body := gateGet(t, h, "/readyz"); body["records_remaining"] != float64(0) {
+		t.Errorf("after 100/100, records_remaining = %v, want 0", body["records_remaining"])
+	}
+}

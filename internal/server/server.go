@@ -248,7 +248,20 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		body := map[string]any{"status": "ready"}
+		// Durable datasets stamp their recovery outcome so an operator
+		// (or the restart smoke) can confirm from the readiness probe
+		// alone that the pre-crash epoch was republished.
+		wal := make(map[string]*ktg.RecoveryStats)
+		for _, name := range s.names {
+			if ds := s.datasets[name]; ds.Live != nil && ds.Live.Recovery() != nil {
+				wal[name] = ds.Live.Recovery()
+			}
+		}
+		if len(wal) > 0 {
+			body["wal"] = wal
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.Handle("GET /metrics", obs.Default().Handler())
 	mux.Handle("GET /debug/requests", s.recorder.RecentHandler())
@@ -707,13 +720,15 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	start := time.Now()
 	defer func() { mDatasetsLatency.Observe(time.Since(start).Nanoseconds()) }()
 	type datasetJSON struct {
-		Name       string `json:"name"`
-		Vertices   int    `json:"vertices"`
-		Edges      int    `json:"edges"`
-		Vocabulary int    `json:"vocabulary"`
-		Index      string `json:"index"`
-		Mutable    bool   `json:"mutable,omitempty"`
-		Epoch      uint64 `json:"epoch,omitempty"`
+		Name       string             `json:"name"`
+		Vertices   int                `json:"vertices"`
+		Edges      int                `json:"edges"`
+		Vocabulary int                `json:"vocabulary"`
+		Index      string             `json:"index"`
+		Mutable    bool               `json:"mutable,omitempty"`
+		Epoch      uint64             `json:"epoch,omitempty"`
+		Durable    bool               `json:"durable,omitempty"`
+		WAL        *ktg.RecoveryStats `json:"wal,omitempty"`
 	}
 	out := make([]datasetJSON, 0, len(s.names))
 	for _, name := range s.names {
@@ -732,6 +747,10 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 		}
 		if idx != nil {
 			d.Index = idx.Name()
+		}
+		if ds.Live != nil {
+			d.Durable = ds.Live.Durable()
+			d.WAL = ds.Live.Recovery()
 		}
 		out = append(out, d)
 	}

@@ -31,7 +31,18 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "ktgserver address")
 	dataset := flag.String("dataset", "brightkite", "dataset to query")
 	mutate := flag.Bool("mutate", false, "also probe POST /v1/edges (requires the server to run -mutable)")
+	walPrep := flag.Bool("wal-prepare", false, "durability smoke, phase 1: mutate and record the state a restart must reproduce in -state-file")
+	walVer := flag.Bool("wal-verify", false, "durability smoke, phase 2: after a crash+restart, verify -state-file's epoch and answer survived")
+	stateFile := flag.String("state-file", "", "state file for -wal-prepare / -wal-verify")
 	flag.Parse()
+
+	if (*walPrep || *walVer) && *stateFile == "" {
+		fail("-wal-prepare/-wal-verify require -state-file")
+	}
+	if *walVer {
+		walVerify(*addr, *stateFile)
+		return
+	}
 
 	selfCheckRetryAfter()
 
@@ -97,6 +108,9 @@ func main() {
 
 	if *mutate {
 		mutateSmoke(ctx, cl, *addr, *dataset, req, first)
+	}
+	if *walPrep {
+		walPrepare(ctx, cl, *addr, *dataset, *stateFile)
 	}
 
 	fmt.Println("smokeclient: ok")

@@ -1,0 +1,328 @@
+package server_test
+
+// The durability soak: the acceptance test for the mutation WAL. A
+// durable mutable dataset serves behind chaos middleware at a ≈40%
+// combined fault rate while concurrent queries and a serial mutation
+// stream hammer it. Mid-stream the server "crashes" — connections torn
+// down, listener closed, the durable handle abandoned without Close,
+// exactly the process image SIGKILL leaves behind. A second server is
+// rebuilt from the same WAL directory and must republish the exact
+// pre-crash epoch with zero acked mutations lost, re-apply a resent
+// acked batch as all-ignored without minting an epoch, and carry the
+// epoch sequence forward so every answer — before and after the crash
+// — still replays exactly against its epoch's mirror view.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ktg"
+	"ktg/internal/chaos"
+	"ktg/internal/client"
+	"ktg/internal/gen"
+	"ktg/internal/server"
+	"ktg/internal/workload"
+)
+
+const (
+	walSoakPreBatches  = 8 // acked before the crash
+	walSoakPostBatches = 6 // acked after the restart
+	walSoakQueries     = 16
+)
+
+// buildDurableLive is buildLive with the WAL wired in: same preset and
+// index, but the live handle journals every acked batch to dir.
+func buildDurableLive(t *testing.T, dir string) (*ktg.Network, *ktg.LiveNetwork, *ktg.RecoveryStats) {
+	t.Helper()
+	net, err := ktg.GeneratePreset(livePreset, liveScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, stats, err := ktg.NewLiveNetworkDurable(net, idx, ktg.WALConfig{Dir: dir, Sync: "always"})
+	if err != nil {
+		t.Fatalf("NewLiveNetworkDurable: %v", err)
+	}
+	return net, live, stats
+}
+
+func TestSoakDurableCrashRestartUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("durability chaos soak skipped in -short mode")
+	}
+
+	walDir := t.TempDir()
+	spec, err := chaos.ParseSpec(liveChaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := func(live *ktg.LiveNetwork) *httptest.Server {
+		net, err := ktg.GeneratePreset(livePreset, liveScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Workers:          liveWorkers,
+			QueueDepth:       64,
+			DegradeQueueWait: -1,
+		}, &server.Dataset{Name: livePreset, Network: net, Live: live})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return httptest.NewServer(chaos.New(spec).Wrap(srv.Handler()))
+	}
+
+	_, live1, stats1 := buildDurableLive(t, walDir)
+	if stats1.Epoch != 1 || stats1.RecordsReplayed != 0 {
+		t.Fatalf("fresh WAL recovery = %+v, want epoch 1 with nothing replayed", stats1)
+	}
+	ts1 := serve(live1)
+	ts1Closed := false
+	defer func() {
+		if !ts1Closed {
+			ts1.Close()
+		}
+	}()
+
+	// Mirror side: an in-memory LiveNetwork applying the same acked
+	// batches, retaining each epoch's view as that epoch's ground truth.
+	_, mirror := buildLive(t)
+	views := map[uint64]*ktg.LiveView{1: mirror.View()}
+	var viewMu sync.Mutex
+
+	ds, err := gen.GeneratePreset(livePreset, liveScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(ds, 47)
+	requests := make([]*client.Request, walSoakQueries)
+	for i := range requests {
+		requests[i] = &client.Request{
+			Dataset:   livePreset,
+			Keywords:  g.KeywordNames(g.QueryKeywords(4)),
+			GroupSize: 4,
+			Tenuity:   2,
+		}
+	}
+
+	newCl := func(base string, seed int64) *client.Client {
+		cl, err := client.New(client.Config{
+			BaseURL:        base,
+			MaxAttempts:    8,
+			AttemptTimeout: 10 * time.Second,
+			BackoffBase:    5 * time.Millisecond,
+			BackoffCap:     100 * time.Millisecond,
+			RetryBudget:    -1, // the soak hammers on purpose
+			HedgeDelay:     25 * time.Millisecond,
+			Breaker:        client.BreakerConfig{Threshold: 5, Cooldown: 100 * time.Millisecond},
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+
+	// mutateStream pushes n pair-deduplicated batches through cl,
+	// asserting the server's acked epoch tracks the mirror's exactly.
+	// Returning batches lets the caller resend one verbatim.
+	mut := workload.NewMutator(ds.Graph, 91)
+	mutateStream := func(cl *client.Client, n int) ([][]client.EdgeOp, error) {
+		batches := make([][]client.EdgeOp, 0, n)
+		for b := 0; b < n; b++ {
+			raw := mut.Batch(liveOps, 0.5)
+			seen := make(map[[2]int64]bool)
+			wire := make([]client.EdgeOp, 0, len(raw))
+			ops := make([]ktg.EdgeOp, 0, len(raw))
+			for _, op := range raw {
+				u, v := int64(op.U), int64(op.V)
+				if u > v {
+					u, v = v, u
+				}
+				if seen[[2]int64{u, v}] {
+					continue
+				}
+				seen[[2]int64{u, v}] = true
+				name := "delete"
+				if op.Insert {
+					name = "insert"
+				}
+				wire = append(wire, client.EdgeOp{Op: name, U: int64(op.U), V: int64(op.V)})
+				ops = append(ops, ktg.EdgeOp{Insert: op.Insert, U: op.U, V: op.V})
+			}
+			resp, err := mutateThroughChaos(cl, &client.MutationRequest{Dataset: livePreset, Edges: wire})
+			if err != nil {
+				return nil, fmt.Errorf("batch %d lost: %w", b, err)
+			}
+			mres, err := mirror.ApplyEdges(ops)
+			if err != nil {
+				return nil, fmt.Errorf("batch %d mirror apply: %w", b, err)
+			}
+			if resp.Epoch != mres.Epoch {
+				return nil, fmt.Errorf("batch %d: server epoch %d diverged from mirror epoch %d", b, resp.Epoch, mres.Epoch)
+			}
+			if mres.Swapped {
+				viewMu.Lock()
+				views[mres.Epoch] = mirror.View()
+				viewMu.Unlock()
+			}
+			batches = append(batches, wire)
+			time.Sleep(15 * time.Millisecond)
+		}
+		return batches, nil
+	}
+
+	type answer struct {
+		req   *client.Request
+		epoch uint64
+		body  string
+		err   error
+	}
+	runQueries := func(cl *client.Client, reqs []*client.Request) []answer {
+		answers := make([]answer, len(reqs))
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < liveWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					resp, err := queryThroughChaos(cl, reqs[i])
+					if err != nil {
+						answers[i] = answer{err: err}
+						continue
+					}
+					if resp.Degraded || resp.Partial {
+						answers[i] = answer{err: fmt.Errorf("degraded=%v partial=%v", resp.Degraded, resp.Partial)}
+						continue
+					}
+					raw := semanticBody(resp)
+					answers[i] = answer{req: reqs[i], epoch: resp.Epoch, body: raw}
+				}
+			}()
+		}
+		for i := range reqs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		return answers
+	}
+	verify := func(phase string, answers []answer) {
+		viewMu.Lock()
+		defer viewMu.Unlock()
+		for i, a := range answers {
+			if a.err != nil {
+				t.Errorf("%s query %d lost under chaos: %v", phase, i, a.err)
+				continue
+			}
+			view := views[a.epoch]
+			if view == nil {
+				t.Errorf("%s query %d reports epoch %d, which was never acked", phase, i, a.epoch)
+				continue
+			}
+			if got := replay(t, view, a.req); got != a.body {
+				t.Errorf("%s query %d diverged from its epoch-%d ground truth:\n  server: %s\n  replay: %s",
+					phase, i, a.epoch, a.body, got)
+			}
+		}
+	}
+
+	// Phase 1: queries and mutations race until the crash point.
+	queryCl1, mutCl1 := newCl(ts1.URL, 5), newCl(ts1.URL, 6)
+	var (
+		preBatches [][]client.EdgeOp
+		mutErr     error
+		mwg        sync.WaitGroup
+	)
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		preBatches, mutErr = mutateStream(mutCl1, walSoakPreBatches)
+	}()
+	preAnswers := runQueries(queryCl1, requests[:walSoakQueries/2])
+	mwg.Wait()
+	if mutErr != nil {
+		t.Fatal(mutErr)
+	}
+	verify("pre-crash", preAnswers)
+
+	// Crash. Tear down every live connection, stop listening, abandon
+	// the durable handle with its file descriptors still open — the
+	// closest userspace analog of SIGKILL mid-mutation-stream.
+	ts1.CloseClientConnections()
+	ts1.Close()
+	ts1Closed = true
+
+	// Restart from the same WAL directory.
+	_, live2, stats2 := buildDurableLive(t, walDir)
+	defer live2.Close()
+	if stats2.Epoch != mirror.Epoch() {
+		t.Fatalf("recovered epoch %d, want the exact pre-crash epoch %d — acked mutations were lost",
+			stats2.Epoch, mirror.Epoch())
+	}
+	if want := int(mirror.Epoch() - 1); stats2.RecordsReplayed != want {
+		t.Errorf("replayed %d records, want %d (one per acked swap)", stats2.RecordsReplayed, want)
+	}
+	ts2 := serve(live2)
+	defer ts2.Close()
+	queryCl2, mutCl2 := newCl(ts2.URL, 7), newCl(ts2.URL, 8)
+
+	// An acked batch resent after the crash must re-apply as all-ignored
+	// without minting an epoch: durability made the first landing stick.
+	last := preBatches[len(preBatches)-1]
+	resp, err := mutateThroughChaos(mutCl2, &client.MutationRequest{Dataset: livePreset, Edges: last})
+	if err != nil {
+		t.Fatalf("resending acked batch: %v", err)
+	}
+	if resp.Applied != 0 || resp.Swapped {
+		t.Errorf("resent acked batch applied %d ops (swapped=%v); recovery dropped part of it", resp.Applied, resp.Swapped)
+	}
+	if resp.Epoch != stats2.Epoch {
+		t.Errorf("resent acked batch reports epoch %d, want the recovered epoch %d", resp.Epoch, stats2.Epoch)
+	}
+
+	// Phase 2: the stream resumes and the epoch sequence must continue
+	// from the recovery point as if the crash never happened.
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		_, mutErr = mutateStream(mutCl2, walSoakPostBatches)
+	}()
+	postAnswers := runQueries(queryCl2, requests[walSoakQueries/2:])
+	mwg.Wait()
+	if mutErr != nil {
+		t.Fatal(mutErr)
+	}
+	verify("post-restart", postAnswers)
+
+	retries := queryCl1.Stats().Retries + mutCl1.Stats().Retries +
+		queryCl2.Stats().Retries + mutCl2.Stats().Retries
+	t.Logf("durability soak: crash at epoch %d, final epoch %d, %d retries across clients",
+		stats2.Epoch, mirror.Epoch(), retries)
+	if retries == 0 {
+		t.Error("soak needed zero retries — the fault injection is not biting, the soak proves nothing")
+	}
+	if h := mutCl1.Stats().Hedges + mutCl2.Stats().Hedges; h != 0 {
+		t.Errorf("mutation calls hedged %d times; mutations must never hedge", h)
+	}
+}
+
+// semanticBody reduces a client answer to the comparable JSON shape the
+// offline replay produces.
+func semanticBody(r *client.Response) string {
+	raw, _ := json.Marshal(struct {
+		Groups    []client.Group `json:"groups"`
+		Diversity *float64       `json:"diversity"`
+		MinQKC    *float64       `json:"min_qkc"`
+		Score     *float64       `json:"score"`
+	}{r.Groups, r.Diversity, r.MinQKC, r.Score})
+	return string(raw)
+}

@@ -1,0 +1,292 @@
+package shard
+
+// The fleet restart soak: the distributed half of the WAL acceptance.
+// Two shard workers serve the same durable mutable dataset, the second
+// behind chaos middleware. Mid-mutation-stream the chaotic shard is
+// killed abruptly (listener and connections torn down, the durable
+// handle abandoned without Close) while batches keep landing on the
+// survivor. The killed shard restarts from its own WAL directory on
+// the same address and must rejoin the fleet at exactly the epoch it
+// last acked — the scatter path answers shard_epoch_skew until the
+// idempotent batch resends converge the fleet, after which queries go
+// back to exact, non-partial answers.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"ktg"
+	"ktg/internal/chaos"
+	"ktg/internal/client"
+	"ktg/internal/gen"
+	"ktg/internal/server"
+	"ktg/internal/workload"
+)
+
+const (
+	fleetPreBatches  = 5 // acked fleet-wide before the kill
+	fleetDownBatches = 4 // land only on the survivor
+	fleetBatchOps    = 4
+)
+
+// durableShard builds one shard worker over its own durable live
+// handle; the returned LiveNetwork is what a "crash" abandons.
+func durableShard(t *testing.T, walDir string) (*server.Server, *ktg.LiveNetwork, *ktg.RecoveryStats) {
+	t.Helper()
+	net, err := ktg.GeneratePreset(soakPreset, soakScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := net.BuildNLRNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, stats, err := ktg.NewLiveNetworkDurable(net, idx, ktg.WALConfig{Dir: walDir, Sync: "always"})
+	if err != nil {
+		t.Fatalf("NewLiveNetworkDurable: %v", err)
+	}
+	s, err := server.New(server.Config{
+		Workers:          4,
+		QueueDepth:       32,
+		DegradeQueueWait: -1,
+	}, &server.Dataset{Name: soakPreset, Network: net, Live: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, live, stats
+}
+
+func TestSoakFleetShardRestartRejoinsAtAckedEpoch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet restart soak skipped in -short mode")
+	}
+	spec, err := chaos.ParseSpec(soakChaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard A: clean survivor on its own WAL.
+	srvA, liveA, _ := durableShard(t, t.TempDir())
+	defer liveA.Close()
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+
+	// Shard B: behind chaos, on a hand-managed listener so a restart can
+	// reclaim the same address the coordinator was configured with.
+	walDirB := t.TempDir()
+	srvB, liveB1, _ := durableShard(t, walDirB)
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := lnB.Addr().String()
+	httpB1 := &http.Server{Handler: chaos.New(spec).Wrap(srvB.Handler())}
+	go httpB1.Serve(lnB)
+
+	co, err := New(Config{
+		Shards: []string{tsA.URL, "http://" + addrB},
+		Client: client.Config{
+			MaxAttempts:    6,
+			AttemptTimeout: 5 * time.Second,
+			BackoffBase:    2 * time.Millisecond,
+			BackoffCap:     20 * time.Millisecond,
+			RetryBudget:    -1,
+			Breaker:        client.BreakerConfig{Threshold: 3, Cooldown: 200 * time.Millisecond},
+			Seed:           9,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTS := httptest.NewServer(co.Handler())
+	defer coordTS.Close()
+
+	// The mutation stream. Down-phase batches are deduplicated against
+	// each other as well as internally: they are resent from scratch
+	// after the restart, and an op whose pair a later batch retouched
+	// would no longer re-apply as ignored on the survivor.
+	ds, err := gen.GeneratePreset(soakPreset, soakScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := workload.NewMutator(ds.Graph, 71)
+	usedDown := make(map[[2]int64]bool)
+	nextBatch := func(global bool) string {
+		for {
+			raw := mut.Batch(fleetBatchOps, 0.5)
+			seen := make(map[[2]int64]bool)
+			wire := make([]client.EdgeOp, 0, len(raw))
+			for _, op := range raw {
+				u, v := int64(op.U), int64(op.V)
+				if u > v {
+					u, v = v, u
+				}
+				key := [2]int64{u, v}
+				if seen[key] || (global && usedDown[key]) {
+					continue
+				}
+				seen[key] = true
+				if global {
+					usedDown[key] = true
+				}
+				name := "delete"
+				if op.Insert {
+					name = "insert"
+				}
+				wire = append(wire, client.EdgeOp{Op: name, U: int64(op.U), V: int64(op.V)})
+			}
+			if len(wire) == 0 {
+				continue // every op collided with the down-phase set; draw again
+			}
+			body, err := json.Marshal(client.MutationRequest{Dataset: soakPreset, Edges: wire})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(body)
+		}
+	}
+	errCode := func(out map[string]any) string {
+		errObj, ok := out["error"].(map[string]any)
+		if !ok {
+			return ""
+		}
+		code, _ := errObj["code"].(string)
+		return code
+	}
+	// ackBatch resends one batch through the coordinator until the whole
+	// fleet acks it — the convergence protocol the API documents.
+	ackBatch := func(body string) map[string]any {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			out := httpPostJSON(t, coordTS.URL+"/v1/edges", body)
+			if _, isErr := out["error"]; !isErr {
+				return out
+			}
+			if code := errCode(out); code != "mutation_incomplete" && code != "all_shards_failed" {
+				t.Fatalf("batch refused with %q instead of a retryable incomplete: %v", code, out)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("batch never converged: %v", out)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: fleet-wide acks; both shards must agree on every epoch.
+	var ackedEpoch uint64
+	for b := 0; b < fleetPreBatches; b++ {
+		out := ackBatch(nextBatch(false))
+		if out["epoch_skew"] == true {
+			t.Fatalf("batch %d acked with epoch skew before any failure: %v", b, out)
+		}
+		ackedEpoch = uint64(out["epoch"].(float64))
+	}
+
+	// Kill shard B mid-stream: connections torn down, listener closed,
+	// durable handle abandoned with its descriptors — SIGKILL's image.
+	httpB1.Close()
+	_ = liveB1 // intentionally never Closed: the WAL must not rely on shutdown
+
+	// Down phase: batches keep landing on the survivor only. Each send
+	// must report mutation_incomplete, not silent success.
+	pending := make([]string, fleetDownBatches)
+	for b := range pending {
+		pending[b] = nextBatch(true)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			out := httpPostJSON(t, coordTS.URL+"/v1/edges", pending[b])
+			code := errCode(out)
+			if code == "mutation_incomplete" {
+				break
+			}
+			if code == "" {
+				t.Fatalf("down-phase batch %d acked fleet-wide with one shard dead: %v", b, out)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("down-phase batch %d never landed on the survivor: %v", b, out)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	// Restart shard B from the same WAL directory on the same address.
+	// Recovery must land exactly on the last epoch B acked to the fleet.
+	srvB2, liveB2, statsB := durableShard(t, walDirB)
+	defer liveB2.Close()
+	if statsB.Epoch != ackedEpoch {
+		t.Fatalf("shard B recovered at epoch %d, want the last fleet-acked epoch %d", statsB.Epoch, ackedEpoch)
+	}
+	var lnB2 net.Listener
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		lnB2, err = net.Listen("tcp", addrB)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addrB, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	httpB2 := &http.Server{Handler: chaos.New(spec).Wrap(srvB2.Handler())}
+	go httpB2.Serve(lnB2)
+	defer httpB2.Close()
+
+	// The fleet is now skewed: A ran ahead while B was down. The scatter
+	// path must refuse to merge across epochs, not blend them.
+	queryBody := `{"dataset":"` + soakPreset + `","keywords":["kw0000","kw0001","kw0002","kw0003"],"group_size":4,"tenuity":2}`
+	sawSkew := false
+	for deadline := time.Now().Add(30 * time.Second); !sawSkew; {
+		out := httpPostJSON(t, coordTS.URL+"/v1/query", queryBody)
+		switch code := errCode(out); {
+		case code == "shard_epoch_skew":
+			sawSkew = true
+		case code == "":
+			if out["partial"] != true {
+				t.Fatalf("skewed fleet served a complete-looking answer: %v", out)
+			}
+			// Partial = B's breaker still open from the outage; wait it out.
+		}
+		if !sawSkew {
+			if time.Now().After(deadline) {
+				t.Fatal("skewed fleet never reported shard_epoch_skew")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Convergence: resend the down-phase batches in order. The survivor
+	// re-applies each as all-ignored; B applies them for the first time.
+	var final map[string]any
+	for _, body := range pending {
+		final = ackBatch(body)
+	}
+	if final["epoch_skew"] == true {
+		t.Fatalf("fleet still skewed after resending every down-phase batch: %v", final)
+	}
+
+	// The skew must have cleared: exact, non-partial answers again,
+	// identical to a single shard's.
+	direct := httpPostJSON(t, tsA.URL+"/v1/query", queryBody)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out := httpPostJSON(t, coordTS.URL+"/v1/query", queryBody)
+		if errCode(out) == "" && out["partial"] != true {
+			if !reflect.DeepEqual(direct["groups"], out["groups"]) {
+				t.Fatalf("converged fleet answer differs from single shard\nwant %v\ngot  %v",
+					direct["groups"], out["groups"])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never served an exact answer after convergence: %v", out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Logf("fleet soak: killed at epoch %d, recovered at %d, converged at epoch %v",
+		ackedEpoch, statsB.Epoch, final["epoch"])
+}

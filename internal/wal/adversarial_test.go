@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ktg/internal/faultio"
+	"ktg/internal/persist"
+)
+
+// The adversarial sweeps prove ISSUE acceptance for the log itself:
+// damage any single byte, or cut the log at any prefix, and recovery
+// must either fail with a clean typed error or produce a state that is
+// byte-identical to some acked epoch's state — never a silent mix.
+
+// copyDir clones the (flat) golden log directory for one mutation.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// typedRecoveryError reports whether err is one of the sentinels the
+// recovery contract allows; anything else (raw I/O noise, untyped
+// strings) fails the sweep.
+func typedRecoveryError(err error) bool {
+	return errors.Is(err, persist.ErrCorrupt) ||
+		errors.Is(err, persist.ErrVersionSkew) ||
+		errors.Is(err, persist.ErrFingerprintMismatch)
+}
+
+// verdict recovers the mutated directory and enforces the
+// error-or-verified-view contract against the golden per-epoch states.
+func verdict(t *testing.T, dir, label string, expected map[uint64]string) {
+	t.Helper()
+	m, stats, l, err := recoverDir(dir)
+	if err != nil {
+		if !typedRecoveryError(err) {
+			t.Errorf("%s: untyped recovery error: %v", label, err)
+		}
+		return
+	}
+	defer l.Close()
+	want, ok := expected[stats.EndEpoch]
+	if !ok {
+		t.Errorf("%s: recovered to epoch %d, which was never acked", label, stats.EndEpoch)
+		return
+	}
+	if m.epoch != stats.EndEpoch {
+		t.Errorf("%s: mirror epoch %d disagrees with stats %d", label, m.epoch, stats.EndEpoch)
+		return
+	}
+	if got := m.snapshot(); got != want {
+		t.Errorf("%s: recovered state at epoch %d is not the acked state:\n  got  %q\n  want %q",
+			label, stats.EndEpoch, got, want)
+	}
+}
+
+// writeFaulted rewrites path by streaming data through a scripted
+// faultio.Writer.
+func writeFaulted(t *testing.T, path string, data []byte, script func(*faultio.Writer) *faultio.Writer) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := script(faultio.NewWriter(f)).Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// goldenFiles lists the log's files, segment order last so sweep output
+// reads front-to-back.
+func goldenFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestFlipEveryByteEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("byte sweep is slow; run without -short")
+	}
+	golden := t.TempDir()
+	// Small segments force a multi-segment log; the mid-log checkpoint
+	// exercises the manifest's checkpoint fields and the snapshot file.
+	expected := buildGolden(t, golden, 24, 220, 10)
+
+	for _, name := range goldenFiles(t, golden) {
+		data, err := os.ReadFile(filepath.Join(golden, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := range data {
+			dir := copyDir(t, golden)
+			// Script the rot through faultio: all eight bits of one byte
+			// flipped on the write path (^0xFF).
+			writeFaulted(t, filepath.Join(dir, name), data, func(w *faultio.Writer) *faultio.Writer {
+				for bit := uint8(0); bit < 8; bit++ {
+					w = w.FlipBit(int64(off), bit)
+				}
+				return w
+			})
+			verdict(t, dir, fmt.Sprintf("flip %s@%d", name, off), expected)
+		}
+	}
+}
+
+func TestTruncateEveryPrefixEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prefix sweep is slow; run without -short")
+	}
+	golden := t.TempDir()
+	expected := buildGolden(t, golden, 24, 220, 10)
+
+	for _, name := range goldenFiles(t, golden) {
+		data, err := os.ReadFile(filepath.Join(golden, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(data); n++ {
+			dir := copyDir(t, golden)
+			// A torn write via faultio: every byte past n silently vanishes
+			// while the writer reports success — the crash model.
+			cut := int64(n)
+			writeFaulted(t, filepath.Join(dir, name), data, func(w *faultio.Writer) *faultio.Writer {
+				return w.TruncateAt(cut)
+			})
+			verdict(t, dir, fmt.Sprintf("truncate %s to %d/%d", name, n, len(data)), expected)
+		}
+	}
+}
+
+// TestMidLogDamageIsCorruption pins the torn-tail policy's sharp edge:
+// the same damage that is recoverable in the final segment is a typed
+// corruption error anywhere earlier — history with a hole is never
+// partially replayed.
+func TestMidLogDamageIsCorruption(t *testing.T) {
+	golden := t.TempDir()
+	buildGolden(t, golden, 24, 220, 0)
+
+	segs, err := filepath.Glob(filepath.Join(golden, "seg-*.wal"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want a multi-segment log, got %v (%v)", segs, err)
+	}
+	first := segs[0]
+	info, err := os.Stat(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := copyDir(t, golden)
+	if err := os.Truncate(filepath.Join(dir, filepath.Base(first)), info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	_, _, l, err := recoverDir(dir)
+	if err == nil {
+		l.Close()
+		t.Fatal("mid-log truncation replayed cleanly")
+	}
+	if !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("mid-log truncation: err = %v, want ErrCorrupt", err)
+	}
+
+	// Deleting a middle segment is a sequence gap, refused at Open.
+	dir2 := copyDir(t, golden)
+	if err := os.Remove(filepath.Join(dir2, filepath.Base(segs[1]))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, l, err := recoverDir(dir2); err == nil {
+		l.Close()
+		t.Fatal("segment gap replayed cleanly")
+	} else if !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("segment gap: err = %v, want ErrCorrupt", err)
+	}
+}

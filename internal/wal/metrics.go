@@ -1,0 +1,26 @@
+package wal
+
+import "ktg/internal/obs"
+
+// WAL metrics on the shared obs registry, so they land on the same
+// /metrics surface as the server and search families.
+var (
+	mAppends = obs.Default().Counter(
+		"ktg_wal_appends_total", "WAL records appended (one per acked mutation batch)")
+	mAppendBytes = obs.Default().Counter(
+		"ktg_wal_append_bytes_total", "bytes appended to WAL segments, including record framing")
+	mFsyncs = obs.Default().Counter(
+		"ktg_wal_fsyncs_total", "WAL segment fsyncs issued")
+	mFsyncLatency = obs.Default().Histogram(
+		"ktg_wal_fsync_latency_ns", "WAL fsync latency in nanoseconds")
+	mReplayedRecords = obs.Default().Counter(
+		"ktg_wal_replayed_records_total", "WAL records replayed during crash recovery")
+	mReplayedOps = obs.Default().Counter(
+		"ktg_wal_replayed_ops_total", "edge ops replayed from the WAL during crash recovery")
+	mTornTail = obs.Default().Counter(
+		"ktg_wal_torn_tail_truncations_total", "torn WAL tails detected and truncated during recovery")
+	mCheckpoints = obs.Default().Counter(
+		"ktg_wal_checkpoints_total", "WAL checkpoints committed")
+	mSegmentsRetired = obs.Default().Counter(
+		"ktg_wal_segments_retired_total", "WAL segments retired by checkpoints")
+)

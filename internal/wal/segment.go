@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"ktg/internal/persist"
+)
+
+// segMagic opens every segment file. The format version lives in the
+// checksummed header, so skew is reported as persist.ErrVersionSkew
+// rather than "bad magic".
+const segMagic = "KTGWSEG\x00"
+
+const (
+	// maxRecordOps bounds one record's op count; the serving layer caps
+	// batches far below this, so a larger value is a forged frame.
+	maxRecordOps = 1 << 16
+	// opWireLen is one encoded op: u8 insert flag + two u32 vertices.
+	opWireLen = 9
+	// recordOverhead is the fixed payload prefix: u64 epoch + u32 nOps.
+	recordOverhead = 12
+	// maxRecordLen bounds a record payload so a forged length field
+	// cannot force a huge allocation.
+	maxRecordLen = recordOverhead + maxRecordOps*opWireLen
+)
+
+// errTorn marks a frame that reads like an interrupted append: missing
+// bytes or a checksum mismatch. In the final segment it is recovered
+// from by truncation; anywhere else it is promoted to corruption.
+var errTorn = errors.New("wal: torn frame")
+
+func tornf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), errTorn)
+}
+
+// segHeader binds a segment to its log.
+type segHeader struct {
+	version    uint32
+	base       persist.Fingerprint
+	index      uint64 // segment sequence number
+	firstEpoch uint64 // epoch the first record may publish (informational)
+}
+
+// encodeSegHeader renders magic + framed header for a new segment file.
+func encodeSegHeader(h segHeader) []byte {
+	body := make([]byte, 0, 44)
+	body = appendU32(body, h.version)
+	body = appendU64(body, h.base.Vertices)
+	body = appendU64(body, h.base.AdjEntries)
+	body = appendU64(body, h.base.CRC)
+	body = appendU64(body, h.index)
+	body = appendU64(body, h.firstEpoch)
+
+	out := make([]byte, 0, len(segMagic)+8+len(body))
+	out = append(out, segMagic...)
+	out = appendU32(out, uint32(len(body)))
+	out = append(out, body...)
+	out = appendU32(out, crc32.Checksum(body, crc32cTable))
+	return out
+}
+
+// parseSegHeader decodes and verifies a segment prefix, returning the
+// header and the offset of the first record. Truncation and checksum
+// damage return errTorn; a verified header that disagrees with the log
+// returns the matching persist sentinel.
+func parseSegHeader(data []byte, wantIndex uint64, base persist.Fingerprint) (segHeader, int, error) {
+	var h segHeader
+	if len(data) < len(segMagic)+4 {
+		return h, 0, tornf("segment shorter than its magic")
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return h, 0, tornf("bad segment magic")
+	}
+	rest := data[len(segMagic):]
+	hdrLen, rest, _ := takeU32(rest)
+	if hdrLen != 44 { // single known layout for FormatVersion 1
+		return h, 0, tornf("segment header length %d invalid", hdrLen)
+	}
+	if len(rest) < int(hdrLen)+4 {
+		return h, 0, tornf("segment header truncated")
+	}
+	body := rest[:hdrLen]
+	crc, _, _ := takeU32(rest[hdrLen:])
+	if crc32.Checksum(body, crc32cTable) != crc {
+		return h, 0, tornf("segment header checksum mismatch")
+	}
+	h.version, body, _ = takeU32(body)
+	h.base.Vertices, body, _ = takeU64(body)
+	h.base.AdjEntries, body, _ = takeU64(body)
+	h.base.CRC, body, _ = takeU64(body)
+	h.index, body, _ = takeU64(body)
+	h.firstEpoch, _, _ = takeU64(body)
+	if h.version != FormatVersion {
+		return h, 0, fmt.Errorf("wal: segment format version %d (this build reads %d): %w",
+			h.version, FormatVersion, persist.ErrVersionSkew)
+	}
+	if h.base != base {
+		return h, 0, fmt.Errorf("wal: segment recorded against graph %v, log opened for %v: %w",
+			h.base, base, persist.ErrFingerprintMismatch)
+	}
+	if h.index != wantIndex {
+		return h, 0, corruptf("segment claims index %d, directory position says %d", h.index, wantIndex)
+	}
+	return h, len(segMagic) + 8 + int(hdrLen), nil
+}
+
+// encodeRecord renders one framed record.
+func encodeRecord(rec Record) []byte {
+	payloadLen := recordOverhead + len(rec.Ops)*opWireLen
+	out := make([]byte, 0, 8+payloadLen)
+	out = appendU32(out, uint32(payloadLen))
+	out = appendU64(out, rec.Epoch)
+	out = appendU32(out, uint32(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		flag := byte(0)
+		if op.Insert {
+			flag = 1
+		}
+		out = append(out, flag)
+		out = appendU32(out, op.U)
+		out = appendU32(out, op.V)
+	}
+	payload := out[4:]
+	return appendU32(out, crc32.Checksum(payload, crc32cTable))
+}
+
+// parseRecord decodes one record at data[off:]. It returns the record
+// and the number of bytes consumed. A clean end of segment returns
+// (zero, 0, nil) with ok=false; a frame that looks like an interrupted
+// append returns errTorn; a checksum-valid but malformed payload is
+// corruption in any position.
+func parseRecord(data []byte, off int) (rec Record, n int, ok bool, err error) {
+	rest := data[off:]
+	if len(rest) == 0 {
+		return rec, 0, false, nil
+	}
+	if len(rest) < 4 {
+		return rec, 0, false, tornf("record length truncated at offset %d", off)
+	}
+	payloadLen, rest, _ := takeU32(rest)
+	if payloadLen < recordOverhead || payloadLen > maxRecordLen {
+		return rec, 0, false, tornf("record length %d out of range at offset %d", payloadLen, off)
+	}
+	if len(rest) < int(payloadLen)+4 {
+		return rec, 0, false, tornf("record truncated at offset %d", off)
+	}
+	payload := rest[:payloadLen]
+	crc, _, _ := takeU32(rest[payloadLen:])
+	if crc32.Checksum(payload, crc32cTable) != crc {
+		return rec, 0, false, tornf("record checksum mismatch at offset %d", off)
+	}
+	// From here the frame is checksum-verified: structural nonsense is
+	// corruption (a writer bug or forgery), not a torn append.
+	var nOps uint32
+	rec.Epoch, payload, _ = takeU64(payload)
+	nOps, payload, _ = takeU32(payload)
+	if int(nOps)*opWireLen != len(payload) {
+		return rec, 0, false, corruptf("record at offset %d declares %d ops but carries %d payload bytes", off, nOps, len(payload))
+	}
+	if nOps == 0 {
+		return rec, 0, false, corruptf("record at offset %d is empty; empty batches never publish an epoch", off)
+	}
+	rec.Ops = make([]EdgeOp, nOps)
+	for i := range rec.Ops {
+		flag := payload[0]
+		if flag > 1 {
+			return Record{}, 0, false, corruptf("record at offset %d op %d has flag %d", off, i, flag)
+		}
+		rec.Ops[i].Insert = flag == 1
+		rec.Ops[i].U, payload, _ = takeU32(payload[1:])
+		rec.Ops[i].V, payload, _ = takeU32(payload)
+	}
+	return rec, 8 + int(payloadLen), true, nil
+}
+
+func appendU32(b []byte, x uint32) []byte {
+	return append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+}
+
+func appendU64(b []byte, x uint64) []byte {
+	return append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+		byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+}
+
+func takeU32(b []byte) (uint32, []byte, bool) {
+	if len(b) < 4 {
+		return 0, b, false
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, b[4:], true
+}
+
+func takeU64(b []byte) (uint64, []byte, bool) {
+	if len(b) < 8 {
+		return 0, b, false
+	}
+	lo, _, _ := takeU32(b)
+	hi, _, _ := takeU32(b[4:])
+	return uint64(lo) | uint64(hi)<<32, b[8:], true
+}

@@ -1,0 +1,186 @@
+// Package wal implements a per-dataset, segment-based write-ahead log
+// for live edge-mutation batches, giving epoch-swapped serving (see
+// internal/live) durability across crashes and restarts.
+//
+// The contract mirrors classic database WALs: a mutation batch is acked
+// only after its record is durable under the configured fsync policy,
+// and recovery replays the log on top of the base snapshot (or the most
+// recent checkpoint) to republish the exact pre-crash epoch. Because
+// internal/live mints exactly one epoch per effective batch, epoch
+// continuity doubles as the log's integrity invariant: record epochs
+// must increase by exactly 1, and any gap is corruption, never silently
+// skipped.
+//
+// On-disk layout under one dataset's directory:
+//
+//	MANIFEST.json       log metadata, rewritten via persist.WriteFileAtomic
+//	checkpoint-*.snap   graph snapshot at the manifest's checkpoint epoch
+//	seg-*.wal           record segments, append-only, rotated by size
+//
+// A segment starts with a CRC32C-protected header binding it to the
+// base graph's persist.Fingerprint, followed by records framed exactly
+// like persist chunks:
+//
+//	u32 len | payload | u32 CRC32C(payload)
+//	payload = u64 epoch | u32 nOps | nOps x (u8 insert, u32 u, u32 v)
+//
+// Records store only the ops that actually changed the graph, so replay
+// is deterministic: every op must re-apply effectively and land on the
+// recorded epoch, or recovery fails with ErrReplayDiverged rather than
+// serving a silently divergent view.
+//
+// Torn-tail policy: damage at the tail of the final segment (a crash
+// mid-append) is expected, detected, truncated away, and counted;
+// damage anywhere earlier — or any CRC-valid but malformed frame — is
+// corruption and surfaces as a typed error wrapping persist.ErrCorrupt.
+// A write or fsync failure poisons the log (ErrLogFailed): once the
+// durable suffix is uncertain no further acks are allowed until a
+// restart re-establishes truth from disk.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"time"
+
+	"ktg/internal/persist"
+)
+
+// FormatVersion is the segment/manifest revision this package reads and
+// writes. Bump it when the layout changes incompatibly.
+const FormatVersion = 1
+
+// Sentinel errors, matched with errors.Is. Integrity failures wrap
+// persist.ErrCorrupt and version skew persist.ErrVersionSkew, so callers
+// already classifying snapshot damage handle WAL damage for free.
+var (
+	// ErrLogFailed marks a log poisoned by an earlier write or fsync
+	// error: the durable suffix is unknown, so every later append is
+	// refused until a restart replays the log from disk.
+	ErrLogFailed = errors.New("wal: log disabled by an earlier write failure")
+	// ErrReplayDiverged marks a recovery whose replayed batches did not
+	// reproduce the recorded epoch sequence — the base snapshot and the
+	// log disagree about history.
+	ErrReplayDiverged = errors.New("wal: replay diverged from the recorded epoch sequence")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("wal: %s: %w", fmt.Sprintf(format, args...), persist.ErrCorrupt)
+}
+
+var crc32cTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EdgeOp is one effective edge mutation. Vertices are raw uint32 ids so
+// the log does not depend on the graph package.
+type EdgeOp struct {
+	Insert bool
+	U, V   uint32
+}
+
+// Record is one acked mutation batch: the epoch it published and the
+// ops that changed the graph (ignored ops are not logged).
+type Record struct {
+	Epoch uint64
+	Ops   []EdgeOp
+}
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs before every append returns: an acked batch is
+	// durable against power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer: an ack bounds data
+	// loss to the sync interval on power loss (process crashes alone
+	// lose nothing — the page cache survives them).
+	SyncInterval
+	// SyncOff never fsyncs: durability is left to the OS. For tests
+	// and bulk loads.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", uint8(p))
+}
+
+// ParseSyncPolicy maps the -wal-sync flag values onto a policy. The
+// empty string selects SyncAlways.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or off)", s)
+}
+
+// Config configures one dataset's log.
+type Config struct {
+	// Dir is the dataset's WAL directory, created if absent.
+	Dir string
+	// Base fingerprints the epoch-1 graph. A log recorded against a
+	// different base is refused with persist.ErrFingerprintMismatch.
+	Base persist.Fingerprint
+	// Sync is the fsync policy (zero value: SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval
+	// (default 100ms).
+	SyncInterval time.Duration
+	// SegmentMaxBytes rotates segments once they reach this size
+	// (default 4 MiB). Every segment holds at least one record.
+	SegmentMaxBytes int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.SyncInterval <= 0 {
+		out.SyncInterval = 100 * time.Millisecond
+	}
+	if out.SegmentMaxBytes <= 0 {
+		out.SegmentMaxBytes = 4 << 20
+	}
+	return out
+}
+
+// ReplayStats reports what one recovery replay did.
+type ReplayStats struct {
+	// StartEpoch is the epoch of the state replay began from: the
+	// manifest's checkpoint epoch, or 1 for the base snapshot.
+	StartEpoch uint64
+	// EndEpoch is the epoch after the last replayed record (equal to
+	// StartEpoch for an empty log).
+	EndEpoch uint64
+	// Records and Ops count the replayed batches and edge ops.
+	Records, Ops int
+	// TornTail reports whether a damaged tail was detected in the
+	// final segment and truncated; TornBytes is how much was dropped.
+	TornTail  bool
+	TornBytes int64
+	// Segments is the number of segment files scanned.
+	Segments int
+}
+
+// CheckpointInfo describes the manifest's current checkpoint.
+type CheckpointInfo struct {
+	// Epoch is the live epoch the checkpoint snapshots.
+	Epoch uint64
+	// Path is the checkpoint snapshot file.
+	Path string
+	// Graph fingerprints the checkpointed topology; loaders verify the
+	// decoded snapshot against it before trusting it.
+	Graph persist.Fingerprint
+}

@@ -1,0 +1,529 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ktg/internal/persist"
+)
+
+// testBase is the base-graph fingerprint every test log is bound to.
+var testBase = persist.Fingerprint{Vertices: 12, AdjEntries: 48, CRC: 0xfeedface}
+
+// mirror is the test stand-in for the live replica: an edge set plus
+// the epoch it represents. Applying a record toggles edges exactly the
+// way internal/live would, so byte-identical recovery is provable by
+// comparing snapshots.
+type edgeKey struct{ u, v uint32 }
+
+type mirror struct {
+	epoch uint64
+	edges map[edgeKey]bool
+}
+
+func newMirror(epoch uint64) *mirror {
+	return &mirror{epoch: epoch, edges: make(map[edgeKey]bool)}
+}
+
+func (m *mirror) apply(rec Record) {
+	for _, op := range rec.Ops {
+		k := edgeKey{op.U, op.V}
+		if op.Insert {
+			m.edges[k] = true
+		} else {
+			delete(m.edges, k)
+		}
+	}
+	m.epoch = rec.Epoch
+}
+
+// snapshot renders the edge set canonically; equal snapshots mean equal
+// recovered topology.
+func (m *mirror) snapshot() string {
+	keys := make([]string, 0, len(m.edges))
+	for k := range m.edges {
+		keys = append(keys, fmt.Sprintf("%d,%d", k.u, k.v))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// contentFP is the test checkpoint "fingerprint": it commits to the
+// snapshot bytes and the epoch, standing in for the graph fingerprint
+// verification ktg's readCheckpointGraph performs.
+func contentFP(content string, epoch uint64) persist.Fingerprint {
+	return persist.Fingerprint{
+		Vertices:   uint64(len(content)),
+		AdjEntries: epoch,
+		CRC:        uint64(crc32.ChecksumIEEE([]byte(content))),
+	}
+}
+
+func mirrorFromSnapshot(content string, epoch uint64) *mirror {
+	m := newMirror(epoch)
+	if content == "" {
+		return m
+	}
+	for _, part := range strings.Split(content, ";") {
+		var u, v uint32
+		fmt.Sscanf(part, "%d,%d", &u, &v)
+		m.edges[edgeKey{u, v}] = true
+	}
+	return m
+}
+
+// genOps produces 1..4 distinct-pair ops that are all effective against
+// m's current state (inserts absent edges, deletes present ones).
+func genOps(rng *rand.Rand, m *mirror) []EdgeOp {
+	n := 1 + rng.Intn(4)
+	seen := make(map[edgeKey]bool)
+	ops := make([]EdgeOp, 0, n)
+	for len(ops) < n {
+		k := edgeKey{uint32(rng.Intn(40)), uint32(40 + rng.Intn(40))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ops = append(ops, EdgeOp{Insert: !m.edges[k], U: k.u, V: k.v})
+	}
+	return ops
+}
+
+// buildGolden writes an n-record log into dir (checkpointing once at
+// checkpointAt when non-zero) and returns the expected snapshot after
+// every epoch.
+func buildGolden(t *testing.T, dir string, n int, segMax int64, checkpointAt uint64) map[uint64]string {
+	t.Helper()
+	l, err := Open(Config{Dir: dir, Base: testBase, Sync: SyncOff, SegmentMaxBytes: segMax})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Replay(func(Record) error { return nil }, nil); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	m := newMirror(1)
+	expected := map[uint64]string{1: m.snapshot()}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		rec := Record{Epoch: m.epoch + 1, Ops: genOps(rng, m)}
+		if err := l.Append(rec); err != nil {
+			t.Fatalf("Append epoch %d: %v", rec.Epoch, err)
+		}
+		m.apply(rec)
+		expected[m.epoch] = m.snapshot()
+		if checkpointAt != 0 && m.epoch == checkpointAt {
+			content := m.snapshot()
+			err := l.Checkpoint(m.epoch, contentFP(content, m.epoch), func(w io.Writer) error {
+				_, err := io.WriteString(w, content)
+				return err
+			})
+			if err != nil {
+				t.Fatalf("Checkpoint at epoch %d: %v", m.epoch, err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return expected
+}
+
+// recoverDir reopens the log in dir the way ktg's durable recovery
+// does: verify + load the checkpoint if the manifest names one, then
+// replay onto the mirror. The returned Log is open and replayed (ready
+// for Append); the caller owns Close.
+func recoverDir(dir string) (*mirror, *ReplayStats, *Log, error) {
+	l, err := Open(Config{Dir: dir, Base: testBase, Sync: SyncOff, SegmentMaxBytes: 220})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := newMirror(1)
+	if cp, ok := l.LastCheckpoint(); ok {
+		content, err := os.ReadFile(cp.Path)
+		if err != nil {
+			l.Close()
+			return nil, nil, nil, fmt.Errorf("reading checkpoint: %w", err)
+		}
+		if contentFP(string(content), cp.Epoch) != cp.Graph {
+			l.Close()
+			return nil, nil, nil, fmt.Errorf("checkpoint %s does not match its committed fingerprint: %w",
+				cp.Path, persist.ErrFingerprintMismatch)
+		}
+		m = mirrorFromSnapshot(string(content), cp.Epoch)
+	}
+	stats, err := l.Replay(func(rec Record) error { m.apply(rec); return nil }, nil)
+	if err != nil {
+		l.Close()
+		return nil, nil, nil, err
+	}
+	return m, stats, l, nil
+}
+
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	expected := buildGolden(t, dir, 10, 0, 0)
+
+	m, stats, l, err := recoverDir(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer l.Close()
+	if stats.Records != 10 || stats.Ops == 0 {
+		t.Errorf("stats = %+v, want 10 records", stats)
+	}
+	if stats.StartEpoch != 1 || stats.EndEpoch != 11 {
+		t.Errorf("epochs %d..%d, want 1..11", stats.StartEpoch, stats.EndEpoch)
+	}
+	if stats.TornTail {
+		t.Error("clean log reported a torn tail")
+	}
+	if got, want := m.snapshot(), expected[11]; got != want {
+		t.Errorf("recovered state %q, want %q", got, want)
+	}
+	if l.LastEpoch() != 11 {
+		t.Errorf("LastEpoch = %d, want 11", l.LastEpoch())
+	}
+	// The recovered log accepts the next epoch in sequence.
+	if err := l.Append(Record{Epoch: 12, Ops: []EdgeOp{{Insert: true, U: 1, V: 2}}}); err != nil {
+		t.Errorf("Append after recovery: %v", err)
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	expected := buildGolden(t, dir, 30, 200, 0)
+
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(names) < 3 {
+		t.Fatalf("expected multiple segments under a 200-byte cap, got %v", names)
+	}
+	m, stats, l, err := recoverDir(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer l.Close()
+	if stats.Segments != len(names) {
+		t.Errorf("stats.Segments = %d, want %d", stats.Segments, len(names))
+	}
+	if got, want := m.snapshot(), expected[31]; got != want {
+		t.Errorf("recovered state %q, want %q", got, want)
+	}
+}
+
+func TestCheckpointRetiresSegments(t *testing.T) {
+	dir := t.TempDir()
+	expected := buildGolden(t, dir, 30, 200, 20)
+
+	// Everything the checkpoint supersedes is gone; the manifest's floor
+	// holds.
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(names) == 0 {
+		t.Fatal("no segments survive")
+	}
+	m, stats, l, err := recoverDir(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer l.Close()
+	if stats.StartEpoch != 20 {
+		t.Errorf("recovery started at epoch %d, want the checkpoint epoch 20", stats.StartEpoch)
+	}
+	if stats.Records != 11 {
+		t.Errorf("replayed %d records over the checkpoint, want 11", stats.Records)
+	}
+	if got, want := m.snapshot(), expected[31]; got != want {
+		t.Errorf("recovered state %q, want %q", got, want)
+	}
+	if cp, ok := l.LastCheckpoint(); !ok || cp.Epoch != 20 {
+		t.Errorf("LastCheckpoint = %+v, %v; want epoch 20", cp, ok)
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Base: testBase, Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Replay(func(Record) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Epoch: 2, Ops: []EdgeOp{{Insert: true, U: 1, V: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	write := func(w io.Writer) error { _, err := io.WriteString(w, "snap"); return err }
+	if err := l.Checkpoint(3, contentFP("snap", 3), write); err == nil {
+		t.Error("checkpoint ahead of the last durable epoch was accepted")
+	}
+	if err := l.Checkpoint(2, contentFP("snap", 2), write); err != nil {
+		t.Fatalf("valid checkpoint: %v", err)
+	}
+	if err := l.Checkpoint(2, contentFP("snap", 2), write); err == nil {
+		t.Error("non-advancing checkpoint was accepted")
+	}
+}
+
+func TestBaseFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	buildGolden(t, dir, 3, 0, 0)
+	other := testBase
+	other.CRC++
+	_, err := Open(Config{Dir: dir, Base: other, Sync: SyncOff})
+	if !errors.Is(err, persist.ErrFingerprintMismatch) {
+		t.Errorf("open with wrong base: err = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+func TestManifestVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	buildGolden(t, dir, 1, 0, 0)
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = []byte(strings.Replace(string(raw), `"version": 1`, `"version": 99`, 1))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir, Base: testBase, Sync: SyncOff}); !errors.Is(err, persist.ErrVersionSkew) {
+		t.Errorf("future manifest version: err = %v, want ErrVersionSkew", err)
+	}
+}
+
+func TestSegmentsWithoutManifestRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Config{Dir: dir, Base: testBase, Sync: SyncOff})
+	if !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("segments without a manifest: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendDiscipline(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Base: testBase, Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	op := []EdgeOp{{Insert: true, U: 1, V: 2}}
+	if err := l.Append(Record{Epoch: 2, Ops: op}); err == nil {
+		t.Error("Append before Replay was accepted")
+	}
+	if _, err := l.Replay(func(Record) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(func(Record) error { return nil }, nil); err == nil {
+		t.Error("second Replay was accepted")
+	}
+	if err := l.Append(Record{Epoch: 2, Ops: nil}); err == nil {
+		t.Error("empty record was accepted")
+	}
+	if err := l.Append(Record{Epoch: 3, Ops: op}); err == nil {
+		t.Error("epoch gap was accepted")
+	}
+	if err := l.Append(Record{Epoch: 2, Ops: op}); err != nil {
+		t.Fatalf("in-order append: %v", err)
+	}
+	if err := l.Append(Record{Epoch: 2, Ops: op}); err == nil {
+		t.Error("duplicate epoch was accepted")
+	}
+}
+
+func TestWriteFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Base: testBase, Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Replay(func(Record) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	op := []EdgeOp{{Insert: true, U: 1, V: 2}}
+	if err := l.Append(Record{Epoch: 2, Ops: op}); err != nil {
+		t.Fatal(err)
+	}
+
+	writeHook = func(f *os.File, p []byte) (int, error) {
+		// A short write: some bytes may be on disk, the rest are not.
+		n, _ := f.Write(p[:len(p)/2])
+		return n, errors.New("injected disk failure")
+	}
+	err = l.Append(Record{Epoch: 3, Ops: op})
+	writeHook = nil
+	if !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("failed append: err = %v, want ErrLogFailed", err)
+	}
+	// Poison is sticky: the durable suffix is unknown, so even a clean
+	// retry is refused until a restart re-reads the truth from disk.
+	if err := l.Append(Record{Epoch: 3, Ops: op}); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after poison: err = %v, want ErrLogFailed", err)
+	}
+	if err := l.Checkpoint(2, contentFP("x", 2), func(w io.Writer) error { return nil }); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("checkpoint after poison: err = %v, want ErrLogFailed", err)
+	}
+	l.Close()
+
+	// Restart: the half-written frame is a torn tail; epoch 2 survives,
+	// epoch 3 (never acked) is gone, and the log accepts appends again.
+	m, stats, l2, err := recoverDir(dir)
+	if err != nil {
+		t.Fatalf("recover after poison: %v", err)
+	}
+	defer l2.Close()
+	if !stats.TornTail {
+		t.Error("half-written frame was not reported as a torn tail")
+	}
+	if m.epoch != 2 || stats.EndEpoch != 2 {
+		t.Errorf("recovered epoch %d (stats %d), want 2", m.epoch, stats.EndEpoch)
+	}
+	if err := l2.Append(Record{Epoch: 3, Ops: op}); err != nil {
+		t.Errorf("append after recovery: %v", err)
+	}
+}
+
+func TestTornTailTruncatedAndAppendable(t *testing.T) {
+	for _, cut := range []int64{1, 3, 7} {
+		dir := t.TempDir()
+		expected := buildGolden(t, dir, 6, 0, 0)
+		seg := filepath.Join(dir, segmentName(1))
+		info, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(seg, info.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+
+		m, stats, l, err := recoverDir(dir)
+		if err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		if !stats.TornTail || stats.TornBytes == 0 {
+			t.Errorf("cut %d: torn tail not reported: %+v", cut, stats)
+		}
+		if stats.EndEpoch != 6 {
+			t.Errorf("cut %d: recovered epoch %d, want 6 (last complete record)", cut, stats.EndEpoch)
+		}
+		if got, want := m.snapshot(), expected[6]; got != want {
+			t.Errorf("cut %d: recovered state %q, want %q", cut, got, want)
+		}
+		// The truncated log keeps working, and the new record survives the
+		// next restart.
+		if err := l.Append(Record{Epoch: 7, Ops: []EdgeOp{{Insert: true, U: 9, V: 90}}}); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		l.Close()
+		m2, _, l2, err := recoverDir(dir)
+		if err != nil {
+			t.Fatalf("cut %d: second recover: %v", cut, err)
+		}
+		l2.Close()
+		if m2.epoch != 7 || !m2.edges[edgeKey{9, 90}] {
+			t.Errorf("cut %d: post-truncation append lost (epoch %d)", cut, m2.epoch)
+		}
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"", SyncAlways, true},
+		{"always", SyncAlways, true},
+		{"Interval", SyncInterval, true},
+		{" off ", SyncOff, true},
+		{"fsync", SyncAlways, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v (ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for p, want := range map[SyncPolicy]string{SyncAlways: "always", SyncInterval: "interval", SyncOff: "off"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestSyncPoliciesRoundtrip(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(Config{Dir: dir, Base: testBase, Sync: pol, SyncInterval: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Replay(func(Record) error { return nil }, nil); err != nil {
+				t.Fatal(err)
+			}
+			for e := uint64(2); e <= 5; e++ {
+				if err := l.Append(Record{Epoch: e, Ops: []EdgeOp{{Insert: true, U: uint32(e), V: 99}}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, stats, l2, err := recoverDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l2.Close()
+			if stats.EndEpoch != 5 {
+				t.Errorf("recovered epoch %d, want 5", stats.EndEpoch)
+			}
+		})
+	}
+}
+
+func TestOversizedRecordRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Base: testBase, Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Replay(func(Record) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Epoch: 2, Ops: make([]EdgeOp, maxRecordOps+1)}); err == nil {
+		t.Error("oversized record was accepted")
+	}
+}
+
+func TestSegmentNameParsing(t *testing.T) {
+	for idx := uint64(1); idx < 5; idx++ {
+		got, ok := parseSegmentName(segmentName(idx))
+		if !ok || got != idx {
+			t.Errorf("parseSegmentName(%q) = %d, %v", segmentName(idx), got, ok)
+		}
+	}
+	for _, bad := range []string{"seg-1.wal", "seg-000000000000000g.wal", "seg-0000000000000001.snap", "MANIFEST.json", "seg-0000000000000001.wal.tmp"} {
+		if _, ok := parseSegmentName(bad); ok {
+			t.Errorf("parseSegmentName(%q) accepted", bad)
+		}
+	}
+	// strconv would happily parse "+1"-style indexes; the round-trip
+	// check must reject any name that is not the canonical rendering.
+	if _, ok := parseSegmentName("seg-+000000000000001.wal"); ok {
+		t.Error("non-canonical segment name accepted")
+	}
+}

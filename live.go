@@ -2,6 +2,7 @@ package ktg
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"ktg/internal/graph"
 	"ktg/internal/live"
+	"ktg/internal/wal"
 )
 
 // EdgeOp is one edge insertion (Insert true) or deletion (Insert false)
@@ -62,6 +64,13 @@ type MutationResult struct {
 type LiveNetwork struct {
 	base *Network
 	mgr  *live.Manager
+
+	// Durable-mode state (see NewLiveNetworkDurable); all nil/zero for a
+	// purely in-memory handle.
+	wal             *wal.Log
+	checkpointEvery uint64
+	recovery        *RecoveryStats
+	logger          *slog.Logger
 
 	mu   sync.Mutex // serializes ApplyEdges (manager + view publish)
 	view atomic.Pointer[LiveView]
@@ -128,7 +137,9 @@ func (ln *LiveNetwork) ApplyEdges(ops []EdgeOp) (*MutationResult, error) {
 	}
 	if r.Swapped {
 		res.AffectedKeywords = ln.keywordsOf(r.Affected)
-		ln.view.Store(ln.derive(ln.mgr.Current()))
+		cur := ln.mgr.Current()
+		ln.view.Store(ln.derive(cur))
+		ln.maybeCheckpoint(cur)
 	}
 	return res, nil
 }

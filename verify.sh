@@ -19,10 +19,12 @@ else
 fi
 ./scripts/check_metrics_docs.sh
 # The observability packages carry the concurrency-heavy request-scope
-# machinery, and internal/live the epoch-swap reader/writer dance;
-# race-test them explicitly (and first), then everything — including
-# the live-mutation chaos soak in internal/server.
-go test -race ./internal/obs ./internal/server ./internal/live
+# machinery, internal/live the epoch-swap reader/writer dance, and
+# internal/wal the fsync/append interleaving under the durability
+# barrier; race-test them explicitly (and first), then everything —
+# including the live-mutation and crash/restart chaos soaks in
+# internal/server and the fleet restart soak in internal/shard.
+go test -race ./internal/obs ./internal/server ./internal/live ./internal/wal ./internal/shard
 go test -race ./...
 
 # Perf-drift gate: re-run the committed "small" experiment and fail on
@@ -90,6 +92,38 @@ grep -q "mutable=true" "$tmp/mutable.log"
 go run ./internal/server/smokeclient -addr "$addr" -mutate
 "$tmp/ktgload" -addr "$addr" -preset brightkite -scale 0.02 \
     -queries 25 -concurrency 4 -seed 42 -mutate-rate 0.3 -mutate-batch 4
+stop_server
+
+# --- durability / crash-recovery smoke -------------------------------
+# Boot with a WAL, churn epochs with ktgload (recording the highest
+# acked epoch), have smokeclient apply a permanent edge flip and record
+# the exact epoch + answer a restart must reproduce, then SIGKILL the
+# server — no shutdown path runs. The restart against the same -wal-dir
+# must log a WAL recovery, serve the exact recorded epoch and answer
+# (smokeclient -wal-verify), and pass ktgload's epoch-continuity check:
+# an acked mutation missing after restart is a hard failure.
+wal="$tmp/wal"
+boot_server "$tmp/wal1.log" -mutable -wal-dir "$wal"
+"$tmp/ktgload" -addr "$addr" -preset brightkite -scale 0.02 \
+    -queries 25 -concurrency 4 -seed 42 -mutate-rate 0.3 -mutate-batch 4 \
+    -epoch-file "$tmp/wal.epoch"
+go run ./internal/server/smokeclient -addr "$addr" -mutate \
+    -wal-prepare -state-file "$tmp/wal.state"
+[ -s "$tmp/wal.epoch" ]
+kill -9 "$server_pid"
+wait "$server_pid" || true
+server_pid=""
+
+boot_server "$tmp/wal2.log" -mutable -wal-dir "$wal"
+go run ./internal/server/smokeclient -addr "$addr" \
+    -wal-verify -state-file "$tmp/wal.state"
+# -wal-verify waited for readiness, so replay is over by now. The boot
+# log must show it actually recovered from the log, not a fresh start.
+grep -q "wal recovery complete" "$tmp/wal2.log"
+grep -q "recovering=true" "$tmp/wal2.log"
+"$tmp/ktgload" -addr "$addr" -preset brightkite -scale 0.02 \
+    -queries 10 -concurrency 2 -seed 43 -mutate-rate 0.3 -mutate-batch 4 \
+    -require-epoch-file "$tmp/wal.epoch"
 stop_server
 
 # --- snapshot corruption recovery smoke ------------------------------
